@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) for the cost asymmetry the paper's
+// rewrites exploit:
+//
+//  * % (RowNum, a blocking sort) vs # (RowId, a free numbering) on tables
+//    of growing size — the primitive-level version of Figures 6/9;
+//  * the merged descendant::nt step vs the two-step
+//    descendant-or-self::node()/child::nt evaluation — the source of the
+//    exceptional Q6/Q7 speedups.
+#include <benchmark/benchmark.h>
+
+#include "algebra/algebra.h"
+#include "api/session.h"
+#include "engine/eval.h"
+#include "xmark/generator.h"
+
+namespace exrquy {
+namespace {
+
+// Builds a (iter, pos, item) literal table with `n` rows in shuffled
+// order so the sort has real work to do.
+OpId ShuffledTable(Dag* dag, int64_t n) {
+  LitTable t;
+  t.cols = {col::iter(), col::pos(), col::item()};
+  uint64_t x = 88172645463325252ull;
+  for (int64_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    t.rows.push_back({Value::Int(1), Value::Int(i + 1),
+                      Value::Int(static_cast<int64_t>(x % (2 * n)))});
+  }
+  return dag->Lit(std::move(t));
+}
+
+void BM_RowNumSort(benchmark::State& state) {
+  StrPool strings;
+  NodeStore store(&strings);
+  Dag dag;
+  OpId lit = ShuffledTable(&dag, state.range(0));
+  OpId rn = dag.RowNum(lit, ColSym("rank"), {{col::item(), false}},
+                       col::iter());
+  for (auto _ : state) {
+    EvalContext ctx;
+    ctx.store = &store;
+    ctx.strings = &strings;
+    Evaluator ev(dag, &ctx);
+    auto r = ev.Eval(rn);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RowNumSort)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RowIdFree(benchmark::State& state) {
+  StrPool strings;
+  NodeStore store(&strings);
+  Dag dag;
+  OpId lit = ShuffledTable(&dag, state.range(0));
+  OpId ri = dag.RowId(lit, ColSym("rank"));
+  for (auto _ : state) {
+    EvalContext ctx;
+    ctx.store = &store;
+    ctx.strings = &strings;
+    Evaluator ev(dag, &ctx);
+    auto r = ev.Eval(ri);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RowIdFree)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+Session* XMarkSession() {
+  static Session* session = [] {
+    auto* s = new Session();
+    XMarkOptions options;
+    options.scale = 0.02;
+    Status st = s->LoadDocument("auction.xml", GenerateXMark(options));
+    EXRQUY_CHECK(st.ok());
+    return s;
+  }();
+  return session;
+}
+
+void BM_TwoStepDescendant(benchmark::State& state) {
+  // descendant-or-self::node()/child::item, as the ordered plans run it.
+  QueryOptions options;
+  options.enable_order_indifference = false;
+  for (auto _ : state) {
+    auto r = XMarkSession()->Execute(
+        R"(count(doc("auction.xml")//item))", options);
+    EXRQUY_CHECK(r.ok());
+    benchmark::DoNotOptimize(r->items);
+  }
+}
+BENCHMARK(BM_TwoStepDescendant);
+
+void BM_MergedDescendant(benchmark::State& state) {
+  // The merged descendant::item step with the tag-index fast path.
+  QueryOptions options;
+  options.default_ordering = OrderingMode::kUnordered;
+  for (auto _ : state) {
+    auto r = XMarkSession()->Execute(
+        R"(count(doc("auction.xml")//item))", options);
+    EXRQUY_CHECK(r.ok());
+    benchmark::DoNotOptimize(r->items);
+  }
+}
+BENCHMARK(BM_MergedDescendant);
+
+}  // namespace
+}  // namespace exrquy
+
+BENCHMARK_MAIN();

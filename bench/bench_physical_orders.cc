@@ -1,0 +1,63 @@
+// Section 6 pointer (Moerkotte & Neumann): "Physical plan optimization
+// is orthogonal to the present work ... The techniques of [15] might
+// infer that a particular sub-plan yields rows in <b, c> order. This
+// renders subsequent % as cheap as #."
+//
+// The engine implements the runtime analogue: with physical sort
+// detection on, % checks in O(n) whether its input already arrives in
+// the requested order and skips the blocking sort. This bench shows
+// (a) how much of the baseline's order-maintenance cost that recovers —
+// step outputs arrive in document order, so the per-step % becomes a
+// scan — and (b) that it is additive to, not a replacement for, the
+// paper's logical rewrites, which also remove the dead data flow.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace exrquy {
+namespace {
+
+void Run() {
+  double scale = bench::EnvScale("EXRQUY_SCALE", 0.02);
+  size_t bytes = 0;
+  auto session = bench::MakeXMarkSession(scale, &bytes);
+  std::printf(
+      "Physical order detection vs logical order indifference "
+      "(instance %zu KB)\n\n",
+      bytes / 1024);
+
+  QueryOptions base = bench::Baseline();
+  QueryOptions base_phys = base;
+  base_phys.physical_sort_detection = true;
+  QueryOptions enabled = bench::Enabled();
+  QueryOptions enabled_phys = enabled;
+  enabled_phys.physical_sort_detection = true;
+
+  std::printf("%-6s %12s %12s %12s %12s   %s\n", "query", "baseline",
+              "base+phys", "enabled", "enabled+phys", "sorts skipped");
+  for (const char* name : {"Q1", "Q2", "Q5", "Q6", "Q7", "Q11", "Q13",
+                           "Q14", "Q19"}) {
+    const std::string& q = XMarkQueryText(name);
+    QueryResult skipped_probe;
+    double b = bench::MedianExecMs(session.get(), q, base, 3);
+    double bp = bench::MedianExecMs(session.get(), q, base_phys, 3,
+                                    &skipped_probe);
+    double e = bench::MedianExecMs(session.get(), q, enabled, 3);
+    double ep = bench::MedianExecMs(session.get(), q, enabled_phys, 3);
+    std::printf("%-6s %10.2fms %10.2fms %10.2fms %10.2fms   %zu\n", name, b,
+                bp, e, ep, skipped_probe.sorts_skipped);
+  }
+  std::printf(
+      "\nExpected: sort detection recovers the per-step %% cost (step\n"
+      "outputs arrive in document order) but not the join-scrambled\n"
+      "back-map sorts, and it cannot remove the dead data flow that the\n"
+      "logical rewrites prune — the enabled configuration stays ahead.\n");
+}
+
+}  // namespace
+}  // namespace exrquy
+
+int main() {
+  exrquy::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Table 2: profile breakdown for XMark Query Q11.
+//
+// The paper dissects where time goes when the compiler ignores order
+// indifference: the value-based join and the enforcement of the
+// iter -> seq interaction dominate, and the latter is wasted effort since
+// the join result only feeds fn:count(). This bench reproduces the
+// breakdown (aggregated into the paper's categories from the compiler's
+// provenance labels) and then shows the saving once order indifference is
+// enabled.
+//
+// Substitution note (DESIGN.md): Pathfinder's join recognition [9] is out
+// of scope, so the per-person evaluation of the inner path shows up as
+// lifting joins here; the headline effect — the order-enforcement share
+// disappears under fn:unordered — is preserved.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace exrquy {
+namespace {
+
+// Maps a provenance label to one of Table 2's rows.
+std::string Category(const std::string& prov) {
+  auto contains = [&](const char* s) {
+    return prov.find(s) != std::string::npos;
+  };
+  if (prov == "return (iter->seq)") return "return $i (iter->seq)";
+  if (prov == "fn:count" || contains("count($l)")) return "fn:count($l)";
+  if (prov == "constructor" || contains("<items")) {
+    return "<items name=...>...</items>";
+  }
+  if (prov == "join" ||
+      (contains("income") && contains("5000") && contains(">"))) {
+    return "join (of $p and $i)";
+  }
+  if (contains("5000") || contains("income")) {
+    return "@income, 5000 * $i (+ atomization)";
+  }
+  if (contains("people") || contains("person")) {
+    return "$auction/site/people/person";
+  }
+  if (contains("initial") || contains("open_auction")) {
+    return "$auction/site/.../initial (lifted)";
+  }
+  return "other (lifting, serialization)";
+}
+
+void PrintProfile(const Profile& profile) {
+  std::map<std::string, double> by_cat;
+  for (const auto& [prov, bucket] : profile.by_prov()) {
+    by_cat[Category(prov)] += bucket.ms;
+  }
+  std::printf("%-44s %10s %6s\n", "sub-expression", "time [ms]", "%");
+  for (const auto& [cat, ms] : by_cat) {
+    std::printf("%-44s %10.2f %5.1f%%\n", cat.c_str(), ms,
+                100.0 * ms / profile.total_ms());
+  }
+  std::printf("%-44s %10.2f\n", "total", profile.total_ms());
+}
+
+void Run() {
+  double scale = bench::EnvScale("EXRQUY_SCALE", 0.03);
+  size_t bytes = 0;
+  auto session = bench::MakeXMarkSession(scale, &bytes);
+  std::printf("Table 2 — profile breakdown for XMark Q11 (instance %zu KB)\n\n",
+              bytes / 1024);
+
+  QueryOptions base = bench::Baseline();
+  base.profile = true;
+  QueryResult rb;
+  double base_ms = bench::MedianExecMs(session.get(),
+                                       XMarkQueryText("Q11"), base, 3, &rb);
+
+  std::printf("-- baseline (compiler ignores order indifference) --\n");
+  PrintProfile(rb.profile);
+
+  QueryOptions enabled = bench::Enabled();
+  enabled.profile = true;
+  QueryResult re;
+  double enabled_ms = bench::MedianExecMs(
+      session.get(), XMarkQueryText("Q11"), enabled, 3, &re);
+
+  std::printf("\n-- order indifference enabled --\n");
+  PrintProfile(re.profile);
+
+  std::printf(
+      "\nwall clock: baseline %.1f ms, enabled %.1f ms -> %.0f%% of the\n"
+      "baseline time saved (the paper reports 45%% for the removed\n"
+      "iter->seq enforcement on its 558 MB instance).\n",
+      base_ms, enabled_ms, 100.0 * (1.0 - enabled_ms / base_ms));
+  std::printf("plans: baseline %s; enabled %s\n",
+              rb.plan_optimized.ToString().c_str(),
+              re.plan_optimized.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace exrquy
+
+int main() {
+  exrquy::Run();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// xq — a small command-line XQuery processor on top of the library.
+//
+//   xq [options] <query.xq | ->
+//     -d name=path    load an XML document (repeatable); fn:doc(name)
+//     -e <expr>       inline query text instead of a file
+//     --baseline      ignore order indifference (the paper's baseline)
+//     --unordered     declare ordering unordered by default
+//     --plan          print the optimized plan instead of executing
+//     --sql           print the generated SQL:1999 instead of executing
+//     --profile       print the Table 2-style execution profile
+//
+// Example:
+//   xq -d t.xml=fragment.xml -e 'count(doc("t.xml")//c)'
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algebra/dot.h"
+#include "api/session.h"
+#include "sql/sql_gen.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xq [-d name=path]... [--baseline|--unordered] "
+               "[--plan|--sql] [--profile] (-e <expr> | query.xq | -)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exrquy::Session session;
+  exrquy::QueryOptions options;
+  std::string query;
+  bool have_query = false;
+  bool want_plan = false;
+  bool want_sql = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-d" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) return Usage();
+      exrquy::Status st = session.LoadDocumentFile(spec.substr(0, eq),
+                                                   spec.substr(eq + 1));
+      if (!st.ok()) {
+        std::fprintf(stderr, "xq: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    } else if (arg == "-e" && i + 1 < argc) {
+      query = argv[++i];
+      have_query = true;
+    } else if (arg == "--baseline") {
+      options.enable_order_indifference = false;
+    } else if (arg == "--unordered") {
+      options.default_ordering = exrquy::OrderingMode::kUnordered;
+    } else if (arg == "--plan") {
+      want_plan = true;
+    } else if (arg == "--sql") {
+      want_sql = true;
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (!have_query) {
+      if (arg == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        query = buf.str();
+      } else {
+        std::ifstream in(arg);
+        if (!in) {
+          std::fprintf(stderr, "xq: cannot open %s\n", arg.c_str());
+          return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        query = buf.str();
+      }
+      have_query = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (!have_query) return Usage();
+
+  if (want_plan || want_sql) {
+    exrquy::Result<exrquy::QueryPlans> plans =
+        session.Plan(query, options);
+    if (!plans.ok()) {
+      std::fprintf(stderr, "xq: %s\n", plans.status().ToString().c_str());
+      return 1;
+    }
+    if (want_plan) {
+      std::fputs(exrquy::PlanToText(*plans->dag, plans->optimized,
+                                    session.strings())
+                     .c_str(),
+                 stdout);
+    }
+    if (want_sql) {
+      exrquy::Result<std::string> sql = exrquy::PlanToSql(
+          *plans->dag, plans->optimized, session.strings());
+      if (!sql.ok()) {
+        std::fprintf(stderr, "xq: %s\n", sql.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(sql->c_str(), stdout);
+    }
+    return 0;
+  }
+
+  exrquy::Result<exrquy::QueryResult> r = session.Execute(query, options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "xq: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", r->serialized.c_str());
+  if (options.profile) {
+    std::fprintf(stderr, "\n%s", r->profile.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Graphviz DOT rendering of plan DAGs (for documentation and debugging;
+// the paper's Figures 6, 9 and 10 are plan DAGs of this shape).
+#ifndef EXRQUY_ALGEBRA_DOT_H_
+#define EXRQUY_ALGEBRA_DOT_H_
+
+#include <string>
+
+#include "algebra/algebra.h"
+
+namespace exrquy {
+
+// One-line human-readable description of an operator, e.g.
+// "RowNum pos:<item>|iter" or "Step child::site".
+std::string OpToString(const Dag& dag, OpId id, const StrPool& strings);
+
+// The sub-DAG rooted at `root` as a DOT digraph.
+std::string PlanToDot(const Dag& dag, OpId root, const StrPool& strings);
+
+// Indented textual plan tree (EXPLAIN-style). Shared sub-plans are
+// printed once and referenced as "^<id>" afterwards.
+std::string PlanToText(const Dag& dag, OpId root, const StrPool& strings);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_ALGEBRA_DOT_H_

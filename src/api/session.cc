@@ -1,0 +1,120 @@
+#include "api/session.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "compiler/compile.h"
+#include "opt/pipeline.h"
+#include "xml/xml_parser.h"
+#include "xquery/normalize.h"
+#include "xquery/parser.h"
+
+namespace exrquy {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Session::Session() : store_(&strings_) {}
+
+Status Session::LoadDocument(std::string_view name, std::string_view xml) {
+  EXRQUY_ASSIGN_OR_RETURN(NodeIdx root, ParseXml(&store_, xml));
+  store_.IndexFragment(store_.fragment_count() - 1);
+  documents_[strings_.Intern(name)] = root;
+  return Status::Ok();
+}
+
+Status Session::LoadDocumentFile(std::string_view name,
+                                 const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadDocument(name, buf.str());
+}
+
+Result<QueryPlans> Session::PlanInternal(std::string_view query,
+                                         const QueryOptions& options) {
+  EXRQUY_ASSIGN_OR_RETURN(Query parsed, ParseQuery(query));
+
+  NormalizeOptions norm;
+  norm.insert_unordered =
+      options.enable_order_indifference && options.insert_unordered;
+  EXRQUY_RETURN_IF_ERROR(Normalize(&parsed, norm));
+
+  CompileOptions copts;
+  copts.default_mode = options.default_ordering;
+  copts.exploit_unordered =
+      options.enable_order_indifference && options.mode_rules;
+  EXRQUY_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                          CompileQuery(parsed, &strings_, copts));
+
+  QueryPlans plans;
+  plans.dag = std::move(compiled.dag);
+  plans.initial = compiled.root;
+
+  OptimizeOptions oopts;
+  oopts.enable = options.enable_order_indifference;
+  oopts.rewrites.column_pruning = options.column_pruning;
+  oopts.rewrites.weaken_rownum = options.weaken_rownum;
+  oopts.rewrites.distinct_elimination = options.distinct_elimination;
+  oopts.rewrites.step_merging = options.step_merging;
+  plans.optimized = Optimize(plans.dag.get(), plans.initial, oopts);
+  return plans;
+}
+
+Result<QueryPlans> Session::Plan(std::string_view query,
+                                 const QueryOptions& options) {
+  return PlanInternal(query, options);
+}
+
+Result<QueryResult> Session::Execute(std::string_view query,
+                                     const QueryOptions& options) {
+  QueryResult result;
+
+  Clock::time_point t0 = Clock::now();
+  EXRQUY_ASSIGN_OR_RETURN(QueryPlans plans, PlanInternal(query, options));
+  result.compile_ms = MsSince(t0);
+
+  result.plan_initial = CollectPlanStats(*plans.dag, plans.initial);
+  result.plan_optimized = CollectPlanStats(*plans.dag, plans.optimized);
+
+  // Discard query-constructed fragments afterwards.
+  size_t node_snapshot = store_.node_count();
+  size_t fragment_snapshot = store_.fragment_count();
+
+  EvalContext ctx;
+  ctx.store = &store_;
+  ctx.strings = &strings_;
+  ctx.documents = documents_;
+  ctx.detect_sorted_inputs = options.physical_sort_detection;
+  if (options.profile) ctx.profile = &result.profile;
+
+  Clock::time_point t1 = Clock::now();
+  Evaluator evaluator(*plans.dag, &ctx);
+  Result<TablePtr> table = evaluator.Eval(plans.optimized);
+  if (!table.ok()) {
+    store_.TruncateTo(node_snapshot, fragment_snapshot);
+    return table.status();
+  }
+  result.execute_ms = MsSince(t1);
+  result.sorts_skipped = ctx.sorts_skipped;
+
+  Result<std::string> serialized = SerializeResult(**table, ctx);
+  Result<std::vector<std::string>> items = ResultItems(**table, ctx);
+  store_.TruncateTo(node_snapshot, fragment_snapshot);
+  if (!serialized.ok()) return serialized.status();
+  if (!items.ok()) return items.status();
+  result.serialized = std::move(serialized).value();
+  result.items = std::move(items).value();
+  return result;
+}
+
+}  // namespace exrquy

@@ -1,0 +1,37 @@
+// Lightweight assertion macros. The library does not use exceptions;
+// violated invariants are programming errors and abort the process with a
+// source location, mirroring the CHECK idiom of large database codebases.
+#ifndef EXRQUY_COMMON_CHECK_H_
+#define EXRQUY_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace exrquy {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace exrquy
+
+#define EXRQUY_CHECK(expr)                                               \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::exrquy::internal_check::CheckFailed(#expr, __FILE__, __LINE__);  \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define EXRQUY_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define EXRQUY_DCHECK(expr) EXRQUY_CHECK(expr)
+#endif
+
+#endif  // EXRQUY_COMMON_CHECK_H_

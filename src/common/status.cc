@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+namespace exrquy {
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kCardinalityError:
+      return "CardinalityError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status TypeError(std::string message) {
+  return Status(StatusCode::kTypeError, std::move(message));
+}
+Status CardinalityError(std::string message) {
+  return Status(StatusCode::kCardinalityError, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace exrquy

@@ -1,0 +1,124 @@
+// Status / Result<T>: exception-free error propagation, in the style of
+// absl::Status / rocksdb::Status. Recoverable errors (syntax errors in
+// queries or documents, dynamic type errors during evaluation) travel as
+// Status values; programming errors abort via EXRQUY_CHECK.
+#ifndef EXRQUY_COMMON_STATUS_H_
+#define EXRQUY_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace exrquy {
+
+enum class StatusCode {
+  kOk = 0,  // (exposed for tests; Status::ok() is the usual check)
+  kInvalidArgument,   // malformed input (query text, XML text)
+  kNotFound,          // unknown document, variable, function
+  kUnimplemented,     // outside the supported XQuery subset
+  kTypeError,         // XQuery dynamic type error (err:XPTY*)
+  kCardinalityError,  // fn:exactly-one etc. violated
+  kInternal,
+};
+
+// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    EXRQUY_DCHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status Unimplemented(std::string message);
+Status TypeError(std::string message);
+Status CardinalityError(std::string message);
+Status Internal(std::string message);
+
+// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and errors keeps call sites terse,
+  // the same convenience trade-off absl::StatusOr makes. The template
+  // also accepts values convertible to T (e.g. shared_ptr<X> for
+  // Result<shared_ptr<const X>>).
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_convertible_v<U&&, T> &&
+                !std::is_same_v<std::decay_t<U>, Status> &&
+                !std::is_same_v<std::decay_t<U>, Result>>>
+  Result(U&& value)  // NOLINT(runtime/explicit)
+      : value_(std::forward<U>(value)) {}
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    EXRQUY_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    EXRQUY_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    EXRQUY_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    EXRQUY_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace exrquy
+
+// Early-return helpers (statement macros; prefixed per style guide).
+#define EXRQUY_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::exrquy::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define EXRQUY_CONCAT_INNER_(a, b) a##b
+#define EXRQUY_CONCAT_(a, b) EXRQUY_CONCAT_INNER_(a, b)
+
+#define EXRQUY_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define EXRQUY_ASSIGN_OR_RETURN(lhs, expr) \
+  EXRQUY_ASSIGN_OR_RETURN_IMPL_(EXRQUY_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#endif  // EXRQUY_COMMON_STATUS_H_

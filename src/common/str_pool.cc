@@ -1,0 +1,28 @@
+#include "common/str_pool.h"
+
+#include "common/check.h"
+
+namespace exrquy {
+
+StrPool::StrPool() {
+  StrId id = Intern("");
+  EXRQUY_CHECK(id == kEmpty);
+}
+
+StrId StrPool::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  StrId id = static_cast<StrId>(strings_.size());
+  // Store the string first; the string_view key aliases the stored copy,
+  // whose address is stable because strings_ is a deque.
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+const std::string& StrPool::Get(StrId id) const {
+  EXRQUY_DCHECK(id < strings_.size());
+  return strings_[id];
+}
+
+}  // namespace exrquy

@@ -1,0 +1,46 @@
+// String interning pool. Element/attribute names, text contents, and
+// string items are stored once and referred to by dense 32-bit ids, which
+// keeps the columnar engine's values fixed-width (MonetDB does the same
+// with its string heaps).
+#ifndef EXRQUY_COMMON_STR_POOL_H_
+#define EXRQUY_COMMON_STR_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace exrquy {
+
+using StrId = uint32_t;
+
+class StrPool {
+ public:
+  StrPool();
+
+  StrPool(const StrPool&) = delete;
+  StrPool& operator=(const StrPool&) = delete;
+
+  // Interns `s`, returning its dense id. Identical strings share an id.
+  StrId Intern(std::string_view s);
+
+  // Returns the string for `id`. The reference is stable for the lifetime
+  // of the pool.
+  const std::string& Get(StrId id) const;
+
+  // Id of the empty string (always 0).
+  static constexpr StrId kEmpty = 0;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  // deque: element addresses are stable under growth, so the string_view
+  // keys of index_ (which alias the stored strings) never dangle.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, StrId> index_;
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_COMMON_STR_POOL_H_

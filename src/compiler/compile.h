@@ -1,0 +1,50 @@
+// The compilation scheme ·⇒· (Sections 3 and 4 of the paper): XQuery Core
+// expressions compile to relational algebra plans over iter|pos|item
+// tables via loop lifting.
+//
+// The ordered rules LOC and BIND implement the order interactions
+// doc -> seq and seq -> iter with the row-numbering primitive %; their
+// unordered twins LOC# and BIND# (Figure 7) trade % for the free
+// arbitrary-numbering primitive #, and Rule FN:UNORDERED implements
+// fn:unordered() as  #pos(π_iter,item(q)).
+//
+// `exploit_unordered` selects between the paper's baseline configuration
+// (ordered rules everywhere; fn:unordered() compiled as the identity,
+// which is what most processors do per Section 6) and the
+// order-indifference configuration.
+#ifndef EXRQUY_COMPILER_COMPILE_H_
+#define EXRQUY_COMPILER_COMPILE_H_
+
+#include <memory>
+
+#include "algebra/algebra.h"
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace exrquy {
+
+struct CompileOptions {
+  // Effective default ordering mode (the query prolog's declare ordering
+  // overrides this).
+  OrderingMode default_mode = OrderingMode::kOrdered;
+  // Apply rules LOC#/BIND#/FN:UNORDERED (and free the for-bindings of
+  // FLWOR blocks that carry an order by clause). When false, ordered
+  // rules are used throughout and fn:unordered() is the identity.
+  bool exploit_unordered = true;
+};
+
+struct CompiledQuery {
+  std::unique_ptr<Dag> dag;
+  // Root plan with schema (iter, pos, item); evaluated under the single-
+  // iteration top-level loop, so iter = 1 throughout.
+  OpId root = kNoOp;
+};
+
+// Compiles a normalized query. `strings` interns document/element names
+// and string literals and must outlive the compiled plan.
+Result<CompiledQuery> CompileQuery(const Query& query, StrPool* strings,
+                                   const CompileOptions& options);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_COMPILER_COMPILE_H_

@@ -1,0 +1,1051 @@
+#include "engine/eval.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "xml/serializer.h"
+#include "xml/step.h"
+
+namespace exrquy {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Hash of one row over the given column pointers.
+uint64_t RowHash(const std::vector<const Column*>& cols, size_t row) {
+  uint64_t h = 1469598103934665603ull;
+  for (const Column* c : cols) {
+    h ^= (*c)[row].Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowEquals(const std::vector<const Column*>& a, size_t ra,
+               const std::vector<const Column*>& b, size_t rb) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!((*a[i])[ra] == (*b[i])[rb])) return false;
+  }
+  return true;
+}
+
+// Materializes the given rows of `in` into a new table.
+TablePtr GatherRows(const Table& in, const std::vector<uint32_t>& rows) {
+  auto out = std::make_shared<Table>();
+  for (ColId c : in.schema()) {
+    Column col;
+    col.reserve(rows.size());
+    const Column& src = in.col(c);
+    for (uint32_t r : rows) col.push_back(src[r]);
+    out->AddColumn(c, std::move(col));
+  }
+  out->SetRows(rows.size());
+  return out;
+}
+
+// Simple open hash table from row keys to row indices.
+class RowIndex {
+ public:
+  RowIndex(std::vector<const Column*> key_cols, size_t rows)
+      : key_cols_(std::move(key_cols)) {
+    buckets_.resize(std::max<size_t>(16, rows * 2));
+    for (size_t r = 0; r < rows; ++r) {
+      size_t b = RowHash(key_cols_, r) % buckets_.size();
+      buckets_[b].push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  // Invokes fn(row) for every stored row whose key equals the probe row.
+  template <typename Fn>
+  void ForEachMatch(const std::vector<const Column*>& probe_cols,
+                    size_t probe_row, Fn fn) const {
+    size_t b = RowHash(probe_cols, probe_row) % buckets_.size();
+    for (uint32_t r : buckets_[b]) {
+      if (RowEquals(key_cols_, r, probe_cols, probe_row)) fn(r);
+    }
+  }
+
+  bool Contains(const std::vector<const Column*>& probe_cols,
+                size_t probe_row) const {
+    bool found = false;
+    ForEachMatch(probe_cols, probe_row, [&](uint32_t) { found = true; });
+    return found;
+  }
+
+ private:
+  std::vector<const Column*> key_cols_;
+  std::vector<std::vector<uint32_t>> buckets_;
+};
+
+std::vector<const Column*> ColPtrs(const Table& t,
+                                   const std::vector<ColId>& cols) {
+  std::vector<const Column*> out;
+  out.reserve(cols.size());
+  for (ColId c : cols) out.push_back(&t.col(c));
+  return out;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const Dag& dag, EvalContext* ctx)
+    : dag_(dag), ctx_(ctx), ops_(ctx->strings, ctx->store) {}
+
+Result<TablePtr> Evaluator::Eval(OpId root) {
+  // Bottom-up over the reachable sub-DAG: each operator evaluated once,
+  // shared sub-plans reused (full materialization, MonetDB style).
+  for (OpId id : dag_.ReachableFrom(root)) {
+    if (memo_.count(id) != 0) continue;
+    const Op& op = dag_.op(id);
+    Clock::time_point start = Clock::now();
+    EXRQUY_ASSIGN_OR_RETURN(TablePtr t, EvalOp(op));
+    if (ctx_->profile != nullptr) {
+      ctx_->profile->Record(op, MsSince(start), t->rows());
+    }
+    memo_[id] = std::move(t);
+  }
+  return memo_.at(root);
+}
+
+Result<TablePtr> Evaluator::EvalOp(const Op& op) {
+  auto child = [&](size_t i) -> const Table& {
+    return *memo_.at(op.children[i]);
+  };
+  switch (op.kind) {
+    case OpKind::kLit:
+      return EvalLit(op);
+    case OpKind::kProject:
+      return EvalProject(op, child(0));
+    case OpKind::kSelect:
+      return EvalSelect(op, child(0));
+    case OpKind::kEquiJoin:
+      return EvalEquiJoin(op, child(0), child(1));
+    case OpKind::kCross:
+      return EvalCross(op, child(0), child(1));
+    case OpKind::kUnion:
+      return EvalUnion(op, child(0), child(1));
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+      return EvalDiffSemi(op, child(0), child(1));
+    case OpKind::kDistinct:
+      return EvalDistinct(op, child(0));
+    case OpKind::kRowNum:
+      return EvalRowNum(op, child(0));
+    case OpKind::kRowId:
+      return EvalRowId(op, child(0));
+    case OpKind::kFun:
+      return EvalFun(op, child(0));
+    case OpKind::kAggr:
+      return EvalAggr(op, child(0));
+    case OpKind::kStep:
+      return EvalStep(op, child(0));
+    case OpKind::kDoc:
+      return EvalDoc(op);
+    case OpKind::kElem:
+      return EvalElem(op, child(0), child(1));
+    case OpKind::kAttr:
+      return EvalAttr(op, child(0), child(1));
+    case OpKind::kTextNode:
+      return EvalText(op, child(0), child(1));
+    case OpKind::kRange:
+      return EvalRange(op, child(0));
+    case OpKind::kCardCheck:
+      return EvalCardCheck(op, child(0), child(1));
+  }
+  return Internal("unhandled operator");
+}
+
+Result<TablePtr> Evaluator::EvalCardCheck(const Op& op, const Table& in,
+                                          const Table& loop) {
+  std::unordered_map<int64_t, int64_t> counts;
+  const Column& iters = in.col(col::iter());
+  for (size_t r = 0; r < in.rows(); ++r) ++counts[iters[r].i];
+  const Column& loop_iters = loop.col(col::iter());
+  for (size_t r = 0; r < loop.rows(); ++r) {
+    auto it = counts.find(loop_iters[r].i);
+    int64_t n = it == counts.end() ? 0 : it->second;
+    if (n < op.min_card || n > op.max_card) {
+      return CardinalityError("fn:" + ctx_->strings->Get(op.name) +
+                              ": argument has " + std::to_string(n) +
+                              " item(s)");
+    }
+  }
+  // Pass through unchanged.
+  auto out = std::make_shared<Table>();
+  for (ColId c : in.schema()) out->AddColumn(c, in.col_ptr(c));
+  out->SetRows(in.rows());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalRange(const Op& op, const Table& in) {
+  const Column& iters = in.col(col::iter());
+  const Column& lo = in.col(op.col);
+  const Column& hi = in.col(op.col2);
+  Column out_iter;
+  Column out_item;
+  for (size_t r = 0; r < in.rows(); ++r) {
+    auto as_int = [&](const Value& v) -> Result<int64_t> {
+      if (v.kind == ValueKind::kInt) return v.i;
+      EXRQUY_ASSIGN_OR_RETURN(Value d, ops_.ToDouble(v));
+      return static_cast<int64_t>(d.d);
+    };
+    EXRQUY_ASSIGN_OR_RETURN(int64_t a, as_int(lo[r]));
+    EXRQUY_ASSIGN_OR_RETURN(int64_t b, as_int(hi[r]));
+    if (b - a > 10'000'000) {
+      return TypeError("range expression too large");
+    }
+    for (int64_t v = a; v <= b; ++v) {
+      out_iter.push_back(iters[r]);
+      out_item.push_back(Value::Int(v));
+    }
+  }
+  size_t n = out_iter.size();
+  auto out = std::make_shared<Table>();
+  out->AddColumn(col::iter(), std::move(out_iter));
+  out->AddColumn(col::item(), std::move(out_item));
+  out->SetRows(n);
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalLit(const Op& op) {
+  auto out = std::make_shared<Table>();
+  for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+    Column col;
+    col.reserve(op.lit.rows.size());
+    for (const auto& row : op.lit.rows) col.push_back(row[i]);
+    out->AddColumn(op.lit.cols[i], std::move(col));
+  }
+  out->SetRows(op.lit.rows.size());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalProject(const Op& op, const Table& in) {
+  auto out = std::make_shared<Table>();
+  for (const auto& [n, o] : op.proj) out->AddColumn(n, in.col_ptr(o));
+  out->SetRows(in.rows());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalSelect(const Op& op, const Table& in) {
+  const Column& flags = in.col(op.col);
+  std::vector<uint32_t> rows;
+  for (size_t r = 0; r < in.rows(); ++r) {
+    const Value& v = flags[r];
+    if (v.kind != ValueKind::kBool) {
+      return TypeError("selection column is not boolean");
+    }
+    if (v.b) rows.push_back(static_cast<uint32_t>(r));
+  }
+  return GatherRows(in, rows);
+}
+
+Result<TablePtr> Evaluator::EvalEquiJoin(const Op& op, const Table& l,
+                                         const Table& r) {
+  // Build on the smaller side, probe with the larger.
+  bool build_right = r.rows() <= l.rows();
+  const Table& build = build_right ? r : l;
+  const Table& probe = build_right ? l : r;
+  ColId build_col = build_right ? op.col2 : op.col;
+  ColId probe_col = build_right ? op.col : op.col2;
+
+  RowIndex index({&build.col(build_col)}, build.rows());
+  std::vector<const Column*> probe_key = {&probe.col(probe_col)};
+  std::vector<uint32_t> probe_rows;
+  std::vector<uint32_t> build_rows;
+  for (size_t pr = 0; pr < probe.rows(); ++pr) {
+    index.ForEachMatch(probe_key, pr, [&](uint32_t br) {
+      probe_rows.push_back(static_cast<uint32_t>(pr));
+      build_rows.push_back(br);
+    });
+  }
+  const std::vector<uint32_t>& l_rows = build_right ? probe_rows : build_rows;
+  const std::vector<uint32_t>& r_rows = build_right ? build_rows : probe_rows;
+
+  auto out = std::make_shared<Table>();
+  for (ColId c : l.schema()) {
+    Column col;
+    col.reserve(l_rows.size());
+    const Column& src = l.col(c);
+    for (uint32_t row : l_rows) col.push_back(src[row]);
+    out->AddColumn(c, std::move(col));
+  }
+  for (ColId c : r.schema()) {
+    Column col;
+    col.reserve(r_rows.size());
+    const Column& src = r.col(c);
+    for (uint32_t row : r_rows) col.push_back(src[row]);
+    out->AddColumn(c, std::move(col));
+  }
+  out->SetRows(l_rows.size());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalCross(const Op& op, const Table& l,
+                                      const Table& r) {
+  (void)op;
+  size_t n = l.rows() * r.rows();
+  auto out = std::make_shared<Table>();
+  for (ColId c : l.schema()) {
+    Column col;
+    col.reserve(n);
+    const Column& src = l.col(c);
+    for (size_t i = 0; i < l.rows(); ++i) {
+      for (size_t j = 0; j < r.rows(); ++j) col.push_back(src[i]);
+    }
+    out->AddColumn(c, std::move(col));
+  }
+  for (ColId c : r.schema()) {
+    Column col;
+    col.reserve(n);
+    const Column& src = r.col(c);
+    for (size_t i = 0; i < l.rows(); ++i) {
+      for (size_t j = 0; j < r.rows(); ++j) col.push_back(src[j]);
+    }
+    out->AddColumn(c, std::move(col));
+  }
+  out->SetRows(n);
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalUnion(const Op& op, const Table& l,
+                                      const Table& r) {
+  (void)op;
+  auto out = std::make_shared<Table>();
+  for (ColId c : l.schema()) {
+    Column col;
+    col.reserve(l.rows() + r.rows());
+    const Column& lc = l.col(c);
+    col.insert(col.end(), lc.begin(), lc.end());
+    const Column& rc = r.col(c);
+    col.insert(col.end(), rc.begin(), rc.end());
+    out->AddColumn(c, std::move(col));
+  }
+  out->SetRows(l.rows() + r.rows());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalDiffSemi(const Op& op, const Table& l,
+                                         const Table& r) {
+  RowIndex index(ColPtrs(r, op.keys), r.rows());
+  std::vector<const Column*> probe = ColPtrs(l, op.keys);
+  bool keep_matching = op.kind == OpKind::kSemiJoin;
+  std::vector<uint32_t> rows;
+  for (size_t i = 0; i < l.rows(); ++i) {
+    if (index.Contains(probe, i) == keep_matching) {
+      rows.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return GatherRows(l, rows);
+}
+
+Result<TablePtr> Evaluator::EvalDistinct(const Op& op, const Table& in) {
+  (void)op;
+  std::vector<const Column*> cols = ColPtrs(in, in.schema());
+  std::vector<std::vector<uint32_t>> buckets(
+      std::max<size_t>(16, in.rows() * 2));
+  std::vector<uint32_t> rows;
+  for (size_t r = 0; r < in.rows(); ++r) {
+    size_t b = RowHash(cols, r) % buckets.size();
+    bool dup = false;
+    for (uint32_t prev : buckets[b]) {
+      if (RowEquals(cols, prev, cols, r)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      buckets[b].push_back(static_cast<uint32_t>(r));
+      rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return GatherRows(in, rows);
+}
+
+Result<TablePtr> Evaluator::EvalRowNum(const Op& op, const Table& in) {
+  // % — the blocking sort. Rows keep their positions; the new column
+  // receives the dense per-group rank.
+  size_t n = in.rows();
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  const Column* part = op.part != kNoCol ? &in.col(op.part) : nullptr;
+  std::vector<std::pair<const Column*, bool>> keys;
+  for (const SortKey& k : op.order) {
+    keys.emplace_back(&in.col(k.col), k.descending);
+  }
+  auto less = [&](uint32_t a, uint32_t b) {
+    if (part != nullptr) {
+      int c = ops_.OrderCompare((*part)[a], (*part)[b]);
+      if (c != 0) return c < 0;
+    }
+    for (const auto& [col, desc] : keys) {
+      int c = ops_.OrderCompare((*col)[a], (*col)[b]);
+      if (c != 0) return desc ? c > 0 : c < 0;
+    }
+    return false;
+  };
+  if (ctx_->detect_sorted_inputs &&
+      std::is_sorted(perm.begin(), perm.end(), less)) {
+    // Physical order detection: the input already carries the requested
+    // order, so the blocking sort degenerates to a scan.
+    ++ctx_->sorts_skipped;
+  } else {
+    std::stable_sort(perm.begin(), perm.end(), less);
+  }
+
+  Column ranks(n);
+  int64_t rank = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (part != nullptr && i > 0) {
+      bool new_group =
+          ops_.OrderCompare((*part)[perm[i]], (*part)[perm[i - 1]]) != 0;
+      if (new_group) rank = 0;
+    }
+    ranks[perm[i]] = Value::Int(++rank);
+  }
+
+  auto out = std::make_shared<Table>();
+  for (ColId c : in.schema()) out->AddColumn(c, in.col_ptr(c));
+  out->AddColumn(op.col, std::move(ranks));
+  out->SetRows(n);
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalRowId(const Op& op, const Table& in) {
+  // # — arbitrary unique numbers at negligible cost (a ROWID column).
+  Column ids;
+  ids.reserve(in.rows());
+  for (size_t r = 0; r < in.rows(); ++r) {
+    ids.push_back(Value::Int(static_cast<int64_t>(r) + 1));
+  }
+  auto out = std::make_shared<Table>();
+  for (ColId c : in.schema()) out->AddColumn(c, in.col_ptr(c));
+  out->AddColumn(op.col, std::move(ids));
+  out->SetRows(in.rows());
+  return out;
+}
+
+Result<Value> Evaluator::ApplyFun(const Op& op,
+                                  const std::vector<const Column*>& args,
+                                  size_t row) {
+  auto arg = [&](size_t i) -> const Value& { return (*args[i])[row]; };
+  switch (op.fun) {
+    case FunKind::kAdd:
+    case FunKind::kSub:
+    case FunKind::kMul:
+    case FunKind::kDiv:
+    case FunKind::kIDiv:
+    case FunKind::kMod:
+      return ops_.Arith(op.fun, arg(0), arg(1));
+    case FunKind::kNeg: {
+      EXRQUY_ASSIGN_OR_RETURN(Value v, ops_.ToDouble(arg(0)));
+      if (arg(0).kind == ValueKind::kInt) return Value::Int(-arg(0).i);
+      return Value::Double(-v.d);
+    }
+    case FunKind::kEq:
+    case FunKind::kNe:
+    case FunKind::kLt:
+    case FunKind::kLe:
+    case FunKind::kGt:
+    case FunKind::kGe:
+      return ops_.Compare(op.fun, arg(0), arg(1));
+    case FunKind::kNodeBefore:
+    case FunKind::kNodeAfter:
+    case FunKind::kNodeIs: {
+      const Value& a = arg(0);
+      const Value& b = arg(1);
+      if (a.kind != ValueKind::kNode || b.kind != ValueKind::kNode) {
+        return TypeError("node comparison on non-node operands");
+      }
+      if (op.fun == FunKind::kNodeBefore) return Value::Bool(a.node < b.node);
+      if (op.fun == FunKind::kNodeAfter) return Value::Bool(a.node > b.node);
+      return Value::Bool(a.node == b.node);
+    }
+    case FunKind::kAnd:
+    case FunKind::kOr: {
+      const Value& a = arg(0);
+      const Value& b = arg(1);
+      if (a.kind != ValueKind::kBool || b.kind != ValueKind::kBool) {
+        return TypeError("boolean connective on non-boolean operands");
+      }
+      return Value::Bool(op.fun == FunKind::kAnd ? (a.b && b.b)
+                                                 : (a.b || b.b));
+    }
+    case FunKind::kNot: {
+      const Value& a = arg(0);
+      if (a.kind != ValueKind::kBool) {
+        return TypeError("fn:not on non-boolean operand");
+      }
+      return Value::Bool(!a.b);
+    }
+    case FunKind::kAtomize:
+      return ops_.Atomize(arg(0));
+    case FunKind::kToDouble:
+      return ops_.ToDouble(arg(0));
+    case FunKind::kToString:
+      return ops_.ToString(arg(0));
+    case FunKind::kContains: {
+      EXRQUY_ASSIGN_OR_RETURN(Value a, ops_.ToString(arg(0)));
+      EXRQUY_ASSIGN_OR_RETURN(Value b, ops_.ToString(arg(1)));
+      const std::string& hay = ctx_->strings->Get(a.str);
+      const std::string& needle = ctx_->strings->Get(b.str);
+      return Value::Bool(hay.find(needle) != std::string::npos);
+    }
+    case FunKind::kConcat: {
+      EXRQUY_ASSIGN_OR_RETURN(Value a, ops_.ToString(arg(0)));
+      EXRQUY_ASSIGN_OR_RETURN(Value b, ops_.ToString(arg(1)));
+      std::string s = ctx_->strings->Get(a.str);
+      s += ctx_->strings->Get(b.str);
+      return Value::Str(ctx_->strings->Intern(s));
+    }
+    case FunKind::kStringLength: {
+      EXRQUY_ASSIGN_OR_RETURN(Value a, ops_.ToString(arg(0)));
+      return Value::Int(
+          static_cast<int64_t>(ctx_->strings->Get(a.str).size()));
+    }
+    case FunKind::kStartsWith:
+    case FunKind::kEndsWith: {
+      EXRQUY_ASSIGN_OR_RETURN(Value a, ops_.ToString(arg(0)));
+      EXRQUY_ASSIGN_OR_RETURN(Value b, ops_.ToString(arg(1)));
+      const std::string& s = ctx_->strings->Get(a.str);
+      const std::string& p = ctx_->strings->Get(b.str);
+      if (p.size() > s.size()) return Value::Bool(false);
+      if (op.fun == FunKind::kStartsWith) {
+        return Value::Bool(s.compare(0, p.size(), p) == 0);
+      }
+      return Value::Bool(s.compare(s.size() - p.size(), p.size(), p) == 0);
+    }
+    case FunKind::kUpperCase:
+    case FunKind::kLowerCase: {
+      EXRQUY_ASSIGN_OR_RETURN(Value a, ops_.ToString(arg(0)));
+      std::string s = ctx_->strings->Get(a.str);
+      for (char& c : s) {
+        c = op.fun == FunKind::kUpperCase
+                ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      return Value::Str(ctx_->strings->Intern(s));
+    }
+    case FunKind::kNormalizeSpace: {
+      EXRQUY_ASSIGN_OR_RETURN(Value a, ops_.ToString(arg(0)));
+      const std::string& s = ctx_->strings->Get(a.str);
+      std::string out;
+      bool in_space = true;  // also trims leading whitespace
+      for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          if (!in_space) out += ' ';
+          in_space = true;
+        } else {
+          out += c;
+          in_space = false;
+        }
+      }
+      while (!out.empty() && out.back() == ' ') out.pop_back();
+      return Value::Str(ctx_->strings->Intern(out));
+    }
+    case FunKind::kSubstring2:
+    case FunKind::kSubstring3: {
+      EXRQUY_ASSIGN_OR_RETURN(Value a, ops_.ToString(arg(0)));
+      EXRQUY_ASSIGN_OR_RETURN(Value s1, ops_.ToDouble(arg(1)));
+      const std::string& s = ctx_->strings->Get(a.str);
+      // XQuery substring positions are 1-based and rounded.
+      int64_t start = static_cast<int64_t>(std::llround(s1.d));
+      int64_t end;  // exclusive, 1-based
+      if (op.fun == FunKind::kSubstring3) {
+        EXRQUY_ASSIGN_OR_RETURN(Value s2, ops_.ToDouble(arg(2)));
+        end = start + static_cast<int64_t>(std::llround(s2.d));
+      } else {
+        end = static_cast<int64_t>(s.size()) + 1;
+      }
+      start = std::max<int64_t>(start, 1);
+      end = std::min<int64_t>(end, static_cast<int64_t>(s.size()) + 1);
+      std::string out = start < end
+                            ? s.substr(static_cast<size_t>(start - 1),
+                                       static_cast<size_t>(end - start))
+                            : "";
+      return Value::Str(ctx_->strings->Intern(out));
+    }
+    case FunKind::kAbs:
+    case FunKind::kFloor:
+    case FunKind::kCeiling:
+    case FunKind::kRound: {
+      Value a = arg(0);
+      if (a.kind == ValueKind::kUntyped || a.kind == ValueKind::kString) {
+        EXRQUY_ASSIGN_OR_RETURN(a, ops_.ToDouble(a));
+      }
+      if (a.kind == ValueKind::kInt) {
+        return op.fun == FunKind::kAbs ? Value::Int(std::llabs(a.i)) : a;
+      }
+      if (a.kind != ValueKind::kDouble) {
+        return TypeError("numeric function on non-numeric operand");
+      }
+      switch (op.fun) {
+        case FunKind::kAbs:
+          return Value::Double(std::fabs(a.d));
+        case FunKind::kFloor:
+          return Value::Double(std::floor(a.d));
+        case FunKind::kCeiling:
+          return Value::Double(std::ceil(a.d));
+        default:
+          // fn:round: round half up (toward positive infinity).
+          return Value::Double(std::floor(a.d + 0.5));
+      }
+    }
+    case FunKind::kNodeName: {
+      const Value& a = arg(0);
+      if (a.kind != ValueKind::kNode) {
+        return TypeError("fn:name on a non-node item");
+      }
+      return Value::Str(ctx_->store->name(a.node));
+    }
+  }
+  return Internal("unhandled function");
+}
+
+Result<TablePtr> Evaluator::EvalFun(const Op& op, const Table& in) {
+  std::vector<const Column*> args = ColPtrs(in, op.args);
+  Column result;
+  result.reserve(in.rows());
+  for (size_t r = 0; r < in.rows(); ++r) {
+    EXRQUY_ASSIGN_OR_RETURN(Value v, ApplyFun(op, args, r));
+    result.push_back(v);
+  }
+  auto out = std::make_shared<Table>();
+  for (ColId c : in.schema()) out->AddColumn(c, in.col_ptr(c));
+  out->AddColumn(op.col, std::move(result));
+  out->SetRows(in.rows());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalAggr(const Op& op, const Table& in) {
+  // Group rows by the partition column (first-appearance order keeps the
+  // output deterministic).
+  std::vector<std::vector<uint32_t>> groups;
+  std::vector<uint32_t> group_rep;  // representative row per group
+  if (op.part == kNoCol) {
+    groups.emplace_back(in.rows());
+    std::iota(groups[0].begin(), groups[0].end(), 0);
+    group_rep.push_back(0);
+  } else {
+    const Column& part = in.col(op.part);
+    std::vector<const Column*> key = {&part};
+    std::vector<std::vector<uint32_t>> buckets(
+        std::max<size_t>(16, in.rows() * 2));
+    for (size_t r = 0; r < in.rows(); ++r) {
+      size_t b = RowHash(key, r) % buckets.size();
+      int64_t found = -1;
+      for (uint32_t g : buckets[b]) {
+        if (part[group_rep[g]] == part[r]) {
+          found = g;
+          break;
+        }
+      }
+      if (found < 0) {
+        found = static_cast<int64_t>(groups.size());
+        groups.emplace_back();
+        group_rep.push_back(static_cast<uint32_t>(r));
+        buckets[b].push_back(static_cast<uint32_t>(found));
+      }
+      groups[found].push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  const Column* arg =
+      op.aggr == AggrKind::kCount ? nullptr : &in.col(op.col2);
+  const Column* order =
+      op.keys.empty() ? nullptr : &in.col(op.keys[0]);
+
+  Column part_out;
+  Column result;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const std::vector<uint32_t>& rows = groups[g];
+    Value v;
+    switch (op.aggr) {
+      case AggrKind::kCount:
+        v = Value::Int(static_cast<int64_t>(rows.size()));
+        break;
+      case AggrKind::kSum:
+      case AggrKind::kAvg: {
+        Value acc = Value::Int(0);
+        for (uint32_t r : rows) {
+          EXRQUY_ASSIGN_OR_RETURN(acc,
+                                  ops_.Arith(FunKind::kAdd, acc, (*arg)[r]));
+        }
+        if (op.aggr == AggrKind::kAvg) {
+          EXRQUY_ASSIGN_OR_RETURN(Value d, ops_.ToDouble(acc));
+          v = Value::Double(d.d / static_cast<double>(rows.size()));
+        } else {
+          v = acc;
+        }
+        break;
+      }
+      case AggrKind::kMax:
+      case AggrKind::kMin: {
+        // fn:max/fn:min cast untyped values to xs:double when every value
+        // parses as a number; otherwise compare as strings.
+        bool numeric = true;
+        for (uint32_t r : rows) {
+          Result<Value> d = ops_.ToDouble((*arg)[r]);
+          if (!d.ok()) {
+            numeric = false;
+            break;
+          }
+        }
+        bool want_max = op.aggr == AggrKind::kMax;
+        bool first = true;
+        Value best;
+        for (uint32_t r : rows) {
+          Value cand = (*arg)[r];
+          if (numeric) {
+            EXRQUY_ASSIGN_OR_RETURN(cand, ops_.ToDouble(cand));
+          }
+          if (first) {
+            best = cand;
+            first = false;
+            continue;
+          }
+          int c = ops_.OrderCompare(cand, best);
+          if (want_max ? c > 0 : c < 0) best = cand;
+        }
+        v = best;
+        break;
+      }
+      case AggrKind::kEbv: {
+        if (rows.size() == 1) {
+          v = Value::Bool(ops_.EbvSingle((*arg)[rows[0]]));
+          break;
+        }
+        bool any_node = false;
+        for (uint32_t r : rows) {
+          if ((*arg)[r].kind == ValueKind::kNode) {
+            any_node = true;
+            break;
+          }
+        }
+        if (!any_node) {
+          return TypeError(
+              "effective boolean value of a multi-item atomic sequence");
+        }
+        v = Value::Bool(true);
+        break;
+      }
+      case AggrKind::kStrJoin: {
+        std::vector<uint32_t> sorted = rows;
+        if (order != nullptr) {
+          std::stable_sort(sorted.begin(), sorted.end(),
+                           [&](uint32_t a, uint32_t b) {
+                             return ops_.OrderCompare((*order)[a],
+                                                      (*order)[b]) < 0;
+                           });
+        }
+        const std::string& sep = ctx_->strings->Get(op.name);
+        std::string s;
+        for (size_t i = 0; i < sorted.size(); ++i) {
+          if (i > 0) s += sep;
+          EXRQUY_ASSIGN_OR_RETURN(Value sv, ops_.ToString((*arg)[sorted[i]]));
+          s += ctx_->strings->Get(sv.str);
+        }
+        v = Value::Str(ctx_->strings->Intern(s));
+        break;
+      }
+    }
+    if (op.part != kNoCol) {
+      part_out.push_back(in.col(op.part)[group_rep[g]]);
+    }
+    result.push_back(v);
+  }
+
+  auto out = std::make_shared<Table>();
+  if (op.part != kNoCol) out->AddColumn(op.part, std::move(part_out));
+  out->AddColumn(op.col, std::move(result));
+  out->SetRows(groups.size());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalStep(const Op& op, const Table& in) {
+  const Column& iters = in.col(col::iter());
+  const Column& items = in.col(col::item());
+  std::vector<int64_t> ctx_iters;
+  std::vector<NodeIdx> ctx_nodes;
+  ctx_iters.reserve(in.rows());
+  ctx_nodes.reserve(in.rows());
+  for (size_t r = 0; r < in.rows(); ++r) {
+    if (items[r].kind != ValueKind::kNode) {
+      return TypeError(std::string("path step ") + AxisName(op.axis) +
+                       ":: applied to a non-node item");
+    }
+    EXRQUY_DCHECK(iters[r].kind == ValueKind::kInt);
+    ctx_iters.push_back(iters[r].i);
+    ctx_nodes.push_back(items[r].node);
+  }
+  std::vector<int64_t> out_iters;
+  std::vector<NodeIdx> out_nodes;
+  exrquy::EvalStep(*ctx_->store, op.axis, op.test, std::move(ctx_iters),
+                   std::move(ctx_nodes), &out_iters, &out_nodes);
+  Column ic;
+  Column nc;
+  ic.reserve(out_iters.size());
+  nc.reserve(out_nodes.size());
+  for (size_t i = 0; i < out_iters.size(); ++i) {
+    ic.push_back(Value::Int(out_iters[i]));
+    nc.push_back(Value::Node(out_nodes[i]));
+  }
+  auto out = std::make_shared<Table>();
+  out->AddColumn(col::iter(), std::move(ic));
+  out->AddColumn(col::item(), std::move(nc));
+  out->SetRows(out_iters.size());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalDoc(const Op& op) {
+  auto it = ctx_->documents.find(op.name);
+  if (it == ctx_->documents.end()) {
+    return NotFound("document not loaded: " + ctx_->strings->Get(op.name));
+  }
+  auto out = std::make_shared<Table>();
+  out->AddColumn(col::item(), Column{Value::Node(it->second)});
+  out->SetRows(1);
+  return out;
+}
+
+namespace {
+
+// Groups content rows by iter and yields each iter group's rows sorted
+// by pos (sequence order establishes the new fragment's document order).
+class ContentGroups {
+ public:
+  ContentGroups(const Table& content, const ValueOps& ops) {
+    const Column& iters = content.col(col::iter());
+    const Column& poss = content.col(col::pos());
+    for (size_t r = 0; r < content.rows(); ++r) {
+      groups_[iters[r].i].push_back(static_cast<uint32_t>(r));
+    }
+    for (auto& [iter, rows] : groups_) {
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return ops.OrderCompare(poss[a], poss[b]) < 0;
+                       });
+    }
+  }
+
+  static const std::vector<uint32_t>& Empty() {
+    static const std::vector<uint32_t>* empty = new std::vector<uint32_t>();
+    return *empty;
+  }
+
+  const std::vector<uint32_t>& RowsFor(int64_t iter) const {
+    auto it = groups_.find(iter);
+    return it == groups_.end() ? Empty() : it->second;
+  }
+
+ private:
+  std::unordered_map<int64_t, std::vector<uint32_t>> groups_;
+};
+
+}  // namespace
+
+Result<TablePtr> Evaluator::EvalElem(const Op& op, const Table& content,
+                                     const Table& loop) {
+  ContentGroups groups(content, ops_);
+  const Column& items = content.col(col::item());
+  const Column& loop_iters = loop.col(col::iter());
+
+  Column out_iter;
+  Column out_item;
+  for (size_t lr = 0; lr < loop.rows(); ++lr) {
+    int64_t it = loop_iters[lr].i;
+    const std::vector<uint32_t>& rows = groups.RowsFor(it);
+
+    NodeBuilder builder(ctx_->store);
+    builder.BeginElement(op.name);
+    // Attribute items first (XQuery requires attributes to precede other
+    // content; we accept them anywhere, leniently).
+    for (uint32_t r : rows) {
+      const Value& v = items[r];
+      if (v.kind == ValueKind::kNode &&
+          ctx_->store->kind(v.node) == NodeKind::kAttribute) {
+        builder.Attribute(ctx_->store->name(v.node),
+                          ctx_->store->value(v.node));
+      }
+    }
+    // Children: nodes are deep-copied, adjacent atomics merge into one
+    // space-separated text node.
+    std::string pending;
+    bool have_pending = false;
+    auto flush = [&] {
+      if (have_pending) builder.Text(pending);
+      pending.clear();
+      have_pending = false;
+    };
+    for (uint32_t r : rows) {
+      const Value& v = items[r];
+      if (v.kind == ValueKind::kNode) {
+        NodeKind k = ctx_->store->kind(v.node);
+        if (k == NodeKind::kAttribute) continue;  // already handled
+        flush();
+        if (k == NodeKind::kDocument) {
+          // Copying a document node copies its children.
+          NodeIdx end = v.node + ctx_->store->size(v.node);
+          NodeIdx c = v.node + 1;
+          while (c <= end) {
+            builder.CopySubtree(c);
+            c += ctx_->store->size(c) + 1;
+          }
+        } else {
+          builder.CopySubtree(v.node);
+        }
+      } else {
+        if (have_pending) pending += ' ';
+        pending += ops_.Render(v);
+        have_pending = true;
+      }
+    }
+    flush();
+    builder.EndElement();
+    NodeIdx node = builder.Finish();
+    out_iter.push_back(Value::Int(it));
+    out_item.push_back(Value::Node(node));
+  }
+
+  auto out = std::make_shared<Table>();
+  out->AddColumn(col::iter(), std::move(out_iter));
+  out->AddColumn(col::item(), std::move(out_item));
+  out->SetRows(loop.rows());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalAttr(const Op& op, const Table& value,
+                                     const Table& loop) {
+  ContentGroups groups(value, ops_);
+  const Column& items = value.col(col::item());
+  const Column& loop_iters = loop.col(col::iter());
+
+  Column out_iter;
+  Column out_item;
+  for (size_t lr = 0; lr < loop.rows(); ++lr) {
+    int64_t it = loop_iters[lr].i;
+    std::string s;
+    bool first = true;
+    for (uint32_t r : groups.RowsFor(it)) {
+      if (!first) s += ' ';
+      first = false;
+      Value v = ops_.Atomize(items[r]);
+      EXRQUY_ASSIGN_OR_RETURN(Value sv, ops_.ToString(v));
+      s += ctx_->strings->Get(sv.str);
+    }
+    NodeIdx node =
+        ctx_->store->MakeAttribute(op.name, ctx_->strings->Intern(s));
+    out_iter.push_back(Value::Int(it));
+    out_item.push_back(Value::Node(node));
+  }
+
+  auto out = std::make_shared<Table>();
+  out->AddColumn(col::iter(), std::move(out_iter));
+  out->AddColumn(col::item(), std::move(out_item));
+  out->SetRows(loop.rows());
+  return out;
+}
+
+Result<TablePtr> Evaluator::EvalText(const Op& op, const Table& content,
+                                     const Table& loop) {
+  (void)op;
+  ContentGroups groups(content, ops_);
+  const Column& items = content.col(col::item());
+  const Column& loop_iters = loop.col(col::iter());
+
+  Column out_iter;
+  Column out_item;
+  for (size_t lr = 0; lr < loop.rows(); ++lr) {
+    int64_t it = loop_iters[lr].i;
+    const std::vector<uint32_t>& rows = groups.RowsFor(it);
+    if (rows.empty()) continue;  // text {()} yields the empty sequence
+    std::string s;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) s += ' ';
+      Value v = ops_.Atomize(items[rows[i]]);
+      EXRQUY_ASSIGN_OR_RETURN(Value sv, ops_.ToString(v));
+      s += ctx_->strings->Get(sv.str);
+    }
+    NodeIdx node = ctx_->store->MakeText(ctx_->strings->Intern(s));
+    out_iter.push_back(Value::Int(it));
+    out_item.push_back(Value::Node(node));
+  }
+
+  size_t n = out_iter.size();
+  auto out = std::make_shared<Table>();
+  out->AddColumn(col::iter(), std::move(out_iter));
+  out->AddColumn(col::item(), std::move(out_item));
+  out->SetRows(n);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<uint32_t> RowsInSequenceOrder(const Table& t,
+                                          const ValueOps& ops) {
+  const Column& iters = t.col(col::iter());
+  const Column& poss = t.col(col::pos());
+  std::vector<uint32_t> rows(t.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::stable_sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
+    int c = ops.OrderCompare(iters[a], iters[b]);
+    if (c != 0) return c < 0;
+    return ops.OrderCompare(poss[a], poss[b]) < 0;
+  });
+  return rows;
+}
+
+}  // namespace
+
+Result<std::string> SerializeResult(const Table& t, const EvalContext& ctx) {
+  ValueOps ops(ctx.strings, ctx.store);
+  std::string out;
+  // Adjacent "textual" items (atomics, attribute nodes, text nodes) are
+  // separated by one space so result items stay distinguishable; markup
+  // items (elements) serialize back to back.
+  bool prev_textual = false;
+  for (uint32_t r : RowsInSequenceOrder(t, ops)) {
+    Value v = t.at(col::item(), r);
+    bool textual =
+        v.kind != ValueKind::kNode ||
+        ctx.store->kind(v.node) == NodeKind::kAttribute ||
+        ctx.store->kind(v.node) == NodeKind::kText;
+    if (prev_textual && textual) out += ' ';
+    if (v.kind == ValueKind::kNode) {
+      SerializeNode(*ctx.store, v.node, {}, &out);
+    } else {
+      EscapeText(ops.Render(v), &out);
+    }
+    prev_textual = textual;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ResultItems(const Table& t,
+                                             const EvalContext& ctx) {
+  ValueOps ops(ctx.strings, ctx.store);
+  std::vector<std::string> items;
+  items.reserve(t.rows());
+  for (uint32_t r : RowsInSequenceOrder(t, ops)) {
+    Value v = t.at(col::item(), r);
+    if (v.kind == ValueKind::kNode) {
+      items.push_back(SerializeNode(*ctx.store, v.node));
+    } else {
+      items.push_back(ops.Render(v));
+    }
+  }
+  return items;
+}
+
+}  // namespace exrquy

@@ -1,0 +1,43 @@
+#include "engine/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace exrquy {
+
+void Profile::Record(const Op& op, double ms, size_t out_rows) {
+  total_ms_ += ms;
+  Bucket& p = by_prov_[op.prov.empty() ? "(unlabeled)" : op.prov];
+  p.ms += ms;
+  p.ops += 1;
+  p.out_rows += out_rows;
+  Bucket& k = by_kind_[OpKindName(op.kind)];
+  k.ms += ms;
+  k.ops += 1;
+  k.out_rows += out_rows;
+}
+
+std::string Profile::ToString() const {
+  std::vector<std::pair<std::string, Bucket>> rows(by_prov_.begin(),
+                                                   by_prov_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.ms > b.second.ms;
+  });
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-58s %10s %6s %12s\n", "sub-expression",
+                "time [ms]", "%", "rows");
+  out += buf;
+  for (const auto& [label, b] : rows) {
+    double pct = total_ms_ > 0 ? 100.0 * b.ms / total_ms_ : 0;
+    std::snprintf(buf, sizeof(buf), "%-58s %10.2f %5.1f%% %12zu\n",
+                  label.c_str(), b.ms, pct, b.out_rows);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-58s %10.2f\n", "total", total_ms_);
+  out += buf;
+  return out;
+}
+
+}  // namespace exrquy

@@ -1,0 +1,40 @@
+// Per-operator execution profiling, aggregated by operator kind and by
+// the compiler's provenance labels. This regenerates Table 2 of the
+// paper: "a breakdown of where time goes during evaluation".
+#ifndef EXRQUY_ENGINE_PROFILE_H_
+#define EXRQUY_ENGINE_PROFILE_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/algebra.h"
+
+namespace exrquy {
+
+class Profile {
+ public:
+  struct Bucket {
+    double ms = 0;
+    size_t ops = 0;
+    size_t out_rows = 0;
+  };
+
+  void Record(const Op& op, double ms, size_t out_rows);
+
+  const std::map<std::string, Bucket>& by_prov() const { return by_prov_; }
+  const std::map<std::string, Bucket>& by_kind() const { return by_kind_; }
+  double total_ms() const { return total_ms_; }
+
+  // Table 2-style rendering: one line per provenance label, with
+  // millisecond and percentage columns, sorted by time descending.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Bucket> by_prov_;
+  std::map<std::string, Bucket> by_kind_;
+  double total_ms_ = 0;
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_ENGINE_PROFILE_H_

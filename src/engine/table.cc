@@ -1,0 +1,34 @@
+#include "engine/table.h"
+
+#include <algorithm>
+
+namespace exrquy {
+
+bool Table::HasCol(ColId c) const {
+  return std::find(cols_.begin(), cols_.end(), c) != cols_.end();
+}
+
+size_t Table::ColIndex(ColId c) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i] == c) return i;
+  }
+  EXRQUY_CHECK(false && "column not found");
+  return 0;
+}
+
+void Table::AddColumn(ColId c, ColumnPtr data) {
+  EXRQUY_CHECK(!HasCol(c));
+  if (cols_.empty()) {
+    rows_ = data->size();
+  } else {
+    EXRQUY_CHECK(data->size() == rows_);
+  }
+  cols_.push_back(c);
+  data_.push_back(std::move(data));
+}
+
+void Table::AddColumn(ColId c, Column data) {
+  AddColumn(c, std::make_shared<const Column>(std::move(data)));
+}
+
+}  // namespace exrquy

@@ -1,0 +1,52 @@
+// Columnar, fully materialized tables — the engine's runtime
+// representation of the iter|pos|item relations. Columns are shared by
+// shared_ptr, so projection and renaming operate on "table descriptors"
+// and are almost free, as the paper notes for MonetDB (Section 5).
+#ifndef EXRQUY_ENGINE_TABLE_H_
+#define EXRQUY_ENGINE_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/symbols.h"
+#include "common/value.h"
+
+namespace exrquy {
+
+using Column = std::vector<Value>;
+using ColumnPtr = std::shared_ptr<const Column>;
+
+class Table {
+ public:
+  Table() = default;
+
+  size_t rows() const { return rows_; }
+  size_t width() const { return cols_.size(); }
+  const std::vector<ColId>& schema() const { return cols_; }
+
+  bool HasCol(ColId c) const;
+  size_t ColIndex(ColId c) const;  // CHECK-fails if absent
+  const Column& col(ColId c) const { return *data_[ColIndex(c)]; }
+  const ColumnPtr& col_ptr(ColId c) const { return data_[ColIndex(c)]; }
+
+  Value at(ColId c, size_t row) const { return col(c)[row]; }
+
+  // Appends a column (length must equal rows() unless the table is empty).
+  void AddColumn(ColId c, ColumnPtr data);
+  void AddColumn(ColId c, Column data);
+
+  // Explicitly sets the row count for tables built column-less first.
+  void SetRows(size_t rows) { rows_ = rows; }
+
+ private:
+  std::vector<ColId> cols_;
+  std::vector<ColumnPtr> data_;
+  size_t rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_ENGINE_TABLE_H_

@@ -1,0 +1,247 @@
+#include "engine/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace exrquy {
+
+namespace {
+
+bool IsNumeric(const Value& v) {
+  return v.kind == ValueKind::kInt || v.kind == ValueKind::kDouble;
+}
+
+double AsDouble(const Value& v) {
+  return v.kind == ValueKind::kInt ? static_cast<double>(v.i) : v.d;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  const char* begin = s.c_str();
+  // Trim whitespace.
+  while (*begin == ' ' || *begin == '\t' || *begin == '\n' || *begin == '\r') {
+    ++begin;
+  }
+  char* end = nullptr;
+  double d = std::strtod(begin, &end);
+  if (end == begin) {
+    return TypeError("cannot cast \"" + s + "\" to xs:double");
+  }
+  while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+  if (*end != '\0') {
+    return TypeError("cannot cast \"" + s + "\" to xs:double");
+  }
+  return d;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+Result<Value> ApplyRelation(FunKind op, int cmp) {
+  switch (op) {
+    case FunKind::kEq:
+      return Value::Bool(cmp == 0);
+    case FunKind::kNe:
+      return Value::Bool(cmp != 0);
+    case FunKind::kLt:
+      return Value::Bool(cmp < 0);
+    case FunKind::kLe:
+      return Value::Bool(cmp <= 0);
+    case FunKind::kGt:
+      return Value::Bool(cmp > 0);
+    case FunKind::kGe:
+      return Value::Bool(cmp >= 0);
+    default:
+      return Internal("bad relation");
+  }
+}
+
+}  // namespace
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "INF" : "-INF";
+  if (v == static_cast<int64_t>(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+Value ValueOps::Atomize(Value v) const {
+  if (v.kind != ValueKind::kNode) return v;
+  if (store_->kind(v.node) == NodeKind::kAttribute) {
+    return Value::Untyped(store_->value(v.node));
+  }
+  return Value::Untyped(strings_->Intern(store_->StringValue(v.node)));
+}
+
+Result<Value> ValueOps::ToDouble(Value v) const {
+  switch (v.kind) {
+    case ValueKind::kInt:
+      return Value::Double(static_cast<double>(v.i));
+    case ValueKind::kDouble:
+      return v;
+    case ValueKind::kString:
+    case ValueKind::kUntyped: {
+      EXRQUY_ASSIGN_OR_RETURN(double d, ParseDouble(strings_->Get(v.str)));
+      return Value::Double(d);
+    }
+    case ValueKind::kBool:
+      return Value::Double(v.b ? 1.0 : 0.0);
+    case ValueKind::kNode:
+      return TypeError("cannot cast a node to xs:double (atomize first)");
+  }
+  return Internal("bad value kind");
+}
+
+Result<Value> ValueOps::ToString(Value v) const {
+  if (v.kind == ValueKind::kNode) {
+    return TypeError("cannot cast a node to xs:string (atomize first)");
+  }
+  if (v.kind == ValueKind::kString) return v;
+  return Value::Str(strings_->Intern(Render(v)));
+}
+
+Result<Value> ValueOps::Arith(FunKind op, Value a, Value b) const {
+  // Untyped operands cast to xs:double for arithmetic.
+  if (a.kind == ValueKind::kUntyped || a.kind == ValueKind::kString) {
+    EXRQUY_ASSIGN_OR_RETURN(a, ToDouble(a));
+  }
+  if (b.kind == ValueKind::kUntyped || b.kind == ValueKind::kString) {
+    EXRQUY_ASSIGN_OR_RETURN(b, ToDouble(b));
+  }
+  if (!IsNumeric(a) || !IsNumeric(b)) {
+    return TypeError("arithmetic on non-numeric operands");
+  }
+  bool both_int = a.kind == ValueKind::kInt && b.kind == ValueKind::kInt;
+  switch (op) {
+    case FunKind::kAdd:
+      return both_int ? Value::Int(a.i + b.i)
+                      : Value::Double(AsDouble(a) + AsDouble(b));
+    case FunKind::kSub:
+      return both_int ? Value::Int(a.i - b.i)
+                      : Value::Double(AsDouble(a) - AsDouble(b));
+    case FunKind::kMul:
+      return both_int ? Value::Int(a.i * b.i)
+                      : Value::Double(AsDouble(a) * AsDouble(b));
+    case FunKind::kDiv: {
+      double div = AsDouble(b);
+      if (both_int && b.i == 0) return TypeError("integer division by zero");
+      return Value::Double(AsDouble(a) / div);
+    }
+    case FunKind::kIDiv: {
+      if (AsDouble(b) == 0) return TypeError("integer division by zero");
+      return Value::Int(static_cast<int64_t>(AsDouble(a) / AsDouble(b)));
+    }
+    case FunKind::kMod: {
+      if (both_int) {
+        if (b.i == 0) return TypeError("modulo by zero");
+        return Value::Int(a.i % b.i);
+      }
+      return Value::Double(std::fmod(AsDouble(a), AsDouble(b)));
+    }
+    default:
+      return Internal("bad arithmetic op");
+  }
+}
+
+Result<Value> ValueOps::Compare(FunKind op, Value a, Value b) const {
+  if (a.kind == ValueKind::kNode || b.kind == ValueKind::kNode) {
+    return TypeError("comparison on unatomized nodes");
+  }
+  // General-comparison casting for untyped operands.
+  if (a.kind == ValueKind::kUntyped && IsNumeric(b)) {
+    EXRQUY_ASSIGN_OR_RETURN(a, ToDouble(a));
+  } else if (b.kind == ValueKind::kUntyped && IsNumeric(a)) {
+    EXRQUY_ASSIGN_OR_RETURN(b, ToDouble(b));
+  }
+  if (IsNumeric(a) && IsNumeric(b)) {
+    if (a.kind == ValueKind::kInt && b.kind == ValueKind::kInt) {
+      return ApplyRelation(op, a.i < b.i ? -1 : (a.i > b.i ? 1 : 0));
+    }
+    return ApplyRelation(op, Sign(AsDouble(a) - AsDouble(b)));
+  }
+  bool a_str = a.kind == ValueKind::kString || a.kind == ValueKind::kUntyped;
+  bool b_str = b.kind == ValueKind::kString || b.kind == ValueKind::kUntyped;
+  if (a_str && b_str) {
+    return ApplyRelation(op, strings_->Get(a.str).compare(strings_->Get(b.str)));
+  }
+  if (a.kind == ValueKind::kBool && b.kind == ValueKind::kBool) {
+    return ApplyRelation(op, static_cast<int>(a.b) - static_cast<int>(b.b));
+  }
+  return TypeError("incomparable operand types");
+}
+
+bool ValueOps::EbvSingle(Value v) const {
+  switch (v.kind) {
+    case ValueKind::kBool:
+      return v.b;
+    case ValueKind::kInt:
+      return v.i != 0;
+    case ValueKind::kDouble:
+      return v.d != 0 && !std::isnan(v.d);
+    case ValueKind::kString:
+    case ValueKind::kUntyped:
+      return !strings_->Get(v.str).empty();
+    case ValueKind::kNode:
+      return true;
+  }
+  return false;
+}
+
+int ValueOps::OrderCompare(const Value& a, const Value& b) const {
+  auto cls = [](const Value& v) {
+    switch (v.kind) {
+      case ValueKind::kInt:
+      case ValueKind::kDouble:
+        return 0;
+      case ValueKind::kString:
+      case ValueKind::kUntyped:
+        return 1;
+      case ValueKind::kBool:
+        return 2;
+      case ValueKind::kNode:
+        return 3;
+    }
+    return 4;
+  };
+  int ca = cls(a);
+  int cb = cls(b);
+  if (ca != cb) return ca - cb;
+  switch (ca) {
+    case 0: {
+      if (a.kind == ValueKind::kInt && b.kind == ValueKind::kInt) {
+        return a.i < b.i ? -1 : (a.i > b.i ? 1 : 0);
+      }
+      return Sign(AsDouble(a) - AsDouble(b));
+    }
+    case 1:
+      return strings_->Get(a.str).compare(strings_->Get(b.str));
+    case 2:
+      return static_cast<int>(a.b) - static_cast<int>(b.b);
+    default:
+      return a.node < b.node ? -1 : (a.node > b.node ? 1 : 0);
+  }
+}
+
+std::string ValueOps::Render(Value v) const {
+  switch (v.kind) {
+    case ValueKind::kInt:
+      return std::to_string(v.i);
+    case ValueKind::kDouble:
+      return FormatDouble(v.d);
+    case ValueKind::kString:
+    case ValueKind::kUntyped:
+      return strings_->Get(v.str);
+    case ValueKind::kBool:
+      return v.b ? "true" : "false";
+    case ValueKind::kNode:
+      return store_->StringValue(v.node);
+  }
+  return "";
+}
+
+}  // namespace exrquy

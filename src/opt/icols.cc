@@ -1,0 +1,127 @@
+#include "opt/icols.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace exrquy {
+
+std::unordered_map<OpId, ColSet> ComputeICols(const Dag& dag, OpId root,
+                                              const ColSet& seed) {
+  std::unordered_map<OpId, ColSet> icols;
+  icols[root] = seed;
+
+  std::vector<OpId> order = dag.ReachableFrom(root);
+  // Parents first: reachable ids are topologically ordered (children have
+  // smaller ids), so walk them in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    OpId id = *it;
+    const Op& op = dag.op(id);
+    const ColSet& r = icols[id];
+
+    auto need = [&](size_t child, ColId c) {
+      if (c == kNoCol) return;
+      EXRQUY_DCHECK(dag.op(op.children[child]).HasCol(c));
+      icols[op.children[child]].insert(c);
+    };
+    auto need_set = [&](size_t child, const ColSet& cols) {
+      const Op& ch = dag.op(op.children[child]);
+      for (ColId c : cols) {
+        if (ch.HasCol(c)) icols[op.children[child]].insert(c);
+      }
+    };
+
+    switch (op.kind) {
+      case OpKind::kLit:
+      case OpKind::kDoc:
+        break;
+      case OpKind::kProject:
+        for (const auto& [n, o] : op.proj) {
+          if (r.count(n) != 0) need(0, o);
+        }
+        break;
+      case OpKind::kSelect:
+        need_set(0, r);
+        need(0, op.col);
+        break;
+      case OpKind::kEquiJoin:
+        need_set(0, r);
+        need_set(1, r);
+        need(0, op.col);
+        need(1, op.col2);
+        break;
+      case OpKind::kCross:
+        need_set(0, r);
+        need_set(1, r);
+        break;
+      case OpKind::kUnion:
+        need_set(0, r);
+        need_set(1, r);
+        break;
+      case OpKind::kDifference:
+      case OpKind::kSemiJoin:
+        need_set(0, r);
+        for (ColId k : op.keys) {
+          need(0, k);
+          need(1, k);
+        }
+        break;
+      case OpKind::kDistinct: {
+        // Duplicate elimination depends on every input column.
+        for (ColId c : dag.op(op.children[0]).schema) need(0, c);
+        break;
+      }
+      case OpKind::kRowNum: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        for (const SortKey& k : op.order) need(0, k.col);
+        need(0, op.part);
+        break;
+      }
+      case OpKind::kRowId: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        break;
+      }
+      case OpKind::kFun: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        for (ColId a : op.args) need(0, a);
+        break;
+      }
+      case OpKind::kAggr:
+        need(0, op.col2);
+        need(0, op.part);
+        for (ColId k : op.keys) need(0, k);
+        break;
+      case OpKind::kStep:
+        need(0, col::iter());
+        need(0, col::item());
+        break;
+      case OpKind::kElem:
+      case OpKind::kAttr:
+      case OpKind::kTextNode:
+        need(0, col::iter());
+        need(0, col::pos());
+        need(0, col::item());
+        need(1, col::iter());
+        break;
+      case OpKind::kRange:
+        need(0, col::iter());
+        need(0, op.col);
+        need(0, op.col2);
+        break;
+      case OpKind::kCardCheck:
+        need_set(0, r);
+        need(0, col::iter());
+        need(1, col::iter());
+        break;
+    }
+  }
+  return icols;
+}
+
+}  // namespace exrquy

@@ -1,0 +1,25 @@
+// Column dependency analysis (Section 4.1, Figure 8): a top-down walk of
+// the plan DAG infers the set of strictly required input columns of every
+// operator, seeded at the root with {pos, item} (plus iter) — the columns
+// needed to serialize the query result.
+#ifndef EXRQUY_OPT_ICOLS_H_
+#define EXRQUY_OPT_ICOLS_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "algebra/algebra.h"
+
+namespace exrquy {
+
+using ColSet = std::set<ColId>;
+
+// Required (produced) columns per reachable operator. A column outside
+// this set is never consumed upstream; operators producing only such
+// columns may be simplified or pruned (rewrites.h).
+std::unordered_map<OpId, ColSet> ComputeICols(const Dag& dag, OpId root,
+                                              const ColSet& seed);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_OPT_ICOLS_H_

@@ -1,0 +1,16 @@
+#include "opt/pipeline.h"
+
+namespace exrquy {
+
+OpId Optimize(Dag* dag, OpId root, const OptimizeOptions& options) {
+  if (!options.enable) return root;
+  OpId current = root;
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool changed = false;
+    current = RewriteOnce(dag, current, options.rewrites, &changed);
+    if (!changed) break;
+  }
+  return current;
+}
+
+}  // namespace exrquy

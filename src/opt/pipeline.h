@@ -1,0 +1,26 @@
+// The optimization pipeline: column dependency analysis + rewrites,
+// iterated to a fixpoint (pruning exposes more pruning, e.g. removing a
+// % makes two location steps adjacent and mergeable).
+#ifndef EXRQUY_OPT_PIPELINE_H_
+#define EXRQUY_OPT_PIPELINE_H_
+
+#include "algebra/algebra.h"
+#include "opt/rewrites.h"
+
+namespace exrquy {
+
+struct OptimizeOptions {
+  // Master switch; when false the emitted plan runs as-is (the paper's
+  // baseline configuration).
+  bool enable = true;
+  RewriteOptions rewrites;
+  int max_passes = 8;
+};
+
+// Returns the new plan root (ops are appended to the same DAG; use
+// ReachableFrom/CollectPlanStats on the returned root).
+OpId Optimize(Dag* dag, OpId root, const OptimizeOptions& options);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_OPT_PIPELINE_H_

@@ -1,0 +1,127 @@
+#include "opt/properties.h"
+
+#include "common/check.h"
+
+namespace exrquy {
+
+const ColProps& PropertyTracker::Get(OpId id) {
+  auto it = memo_.find(id);
+  if (it != memo_.end()) return it->second;
+  ColProps props = Compute(id);
+  return memo_.emplace(id, std::move(props)).first->second;
+}
+
+ColProps PropertyTracker::Compute(OpId id) {
+  const Op& op = *&dag_->op(id);
+  ColProps out;
+  auto child = [&](size_t i) -> const ColProps& {
+    return Get(op.children[i]);
+  };
+  auto inherit = [&](const ColProps& p) {
+    for (ColId c : p.constant) {
+      if (op.HasCol(c)) out.constant.insert(c);
+    }
+    for (ColId c : p.arbitrary) {
+      if (op.HasCol(c)) out.arbitrary.insert(c);
+    }
+  };
+
+  switch (op.kind) {
+    case OpKind::kLit: {
+      for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+        bool constant = true;
+        for (size_t r = 1; r < op.lit.rows.size(); ++r) {
+          if (!(op.lit.rows[r][i] == op.lit.rows[0][i])) {
+            constant = false;
+            break;
+          }
+        }
+        if (constant) out.constant.insert(op.lit.cols[i]);
+      }
+      break;
+    }
+    case OpKind::kProject: {
+      const ColProps& p = child(0);
+      for (const auto& [n, o] : op.proj) {
+        if (p.constant.count(o) != 0) out.constant.insert(n);
+        if (p.arbitrary.count(o) != 0) out.arbitrary.insert(n);
+      }
+      break;
+    }
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+    case OpKind::kCardCheck:
+      inherit(child(0));
+      break;
+    case OpKind::kEquiJoin:
+    case OpKind::kCross:
+      inherit(child(0));
+      inherit(child(1));
+      break;
+    case OpKind::kUnion: {
+      // A column stays constant only if both branches are constant with
+      // the same value — value tracking is out of scope, so constancy is
+      // dropped; arbitrariness survives if both branches are arbitrary.
+      const ColProps& a = child(0);
+      const ColProps& b = child(1);
+      for (ColId c : a.arbitrary) {
+        if (b.arbitrary.count(c) != 0) out.arbitrary.insert(c);
+      }
+      break;
+    }
+    case OpKind::kRowNum:
+      inherit(child(0));
+      // The produced rank is meaningful (unless its criteria were
+      // arbitrary — but then the rewriter turns the op into # anyway).
+      break;
+    case OpKind::kRowId:
+      inherit(child(0));
+      out.arbitrary.insert(op.col);
+      break;
+    case OpKind::kFun: {
+      inherit(child(0));
+      out.constant.erase(op.col);
+      out.arbitrary.erase(op.col);
+      bool all_const = true;
+      for (ColId a : op.args) {
+        if (child(0).constant.count(a) == 0) all_const = false;
+      }
+      if (all_const) out.constant.insert(op.col);
+      break;
+    }
+    case OpKind::kAggr: {
+      const ColProps& p = child(0);
+      if (op.part != kNoCol) {
+        if (p.constant.count(op.part) != 0) out.constant.insert(op.part);
+        if (p.arbitrary.count(op.part) != 0) out.arbitrary.insert(op.part);
+      }
+      break;
+    }
+    case OpKind::kRange:
+    case OpKind::kStep:
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode: {
+      // The iter column descends from the context/loop input (child 0 for
+      // steps and ranges, child 1 — the loop — for constructors).
+      bool from_first =
+          op.kind == OpKind::kStep || op.kind == OpKind::kRange;
+      const ColProps& p = child(from_first ? 0 : 1);
+      if (p.constant.count(col::iter()) != 0) {
+        out.constant.insert(col::iter());
+      }
+      if (p.arbitrary.count(col::iter()) != 0) {
+        out.arbitrary.insert(col::iter());
+      }
+      break;
+    }
+    case OpKind::kDoc:
+      out.constant.insert(col::item());
+      break;
+  }
+  return out;
+}
+
+}  // namespace exrquy

@@ -1,0 +1,344 @@
+#include "opt/rewrites.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "opt/icols.h"
+#include "opt/properties.h"
+
+namespace exrquy {
+namespace {
+
+class Rewriter {
+ public:
+  Rewriter(Dag* dag, const RewriteOptions& options)
+      : dag_(dag), options_(options), props_(dag) {}
+
+  OpId Run(OpId root, bool* changed) {
+    icols_ = ComputeICols(*dag_, root,
+                          {col::iter(), col::pos(), col::item()});
+    *changed = false;
+    for (OpId id : dag_->ReachableFrom(root)) {
+      OpId new_id = RewriteOp(id);
+      map_[id] = new_id;
+      if (new_id != id) {
+        *changed = true;
+        // Keep the provenance label for the Table 2 profile.
+        dag_->SetProv(new_id, dag_->op(id).prov);
+      }
+    }
+    return map_.at(root);
+  }
+
+ private:
+  OpId Child(const Op& op, size_t i) const {
+    return map_.at(op.children[i]);
+  }
+
+  const ColSet& Required(OpId old_id) { return icols_[old_id]; }
+
+  // Projects `id` onto exactly `cols` (sorted), collapsing identities.
+  OpId NarrowTo(OpId id, const ColSet& cols) {
+    std::vector<std::pair<ColId, ColId>> proj;
+    for (ColId c : cols) proj.emplace_back(c, c);
+    return ProjectSimplified(id, proj);
+  }
+
+  // Builds Project(child, proj) with identity collapsing and
+  // Project-over-Project composition.
+  OpId ProjectSimplified(OpId child,
+                         std::vector<std::pair<ColId, ColId>> proj) {
+    const Op& c = dag_->op(child);
+    if (c.kind == OpKind::kProject) {
+      // Compose: resolve each old column through the child's mapping.
+      std::vector<std::pair<ColId, ColId>> composed;
+      for (const auto& [n, o] : proj) {
+        ColId resolved = kNoCol;
+        for (const auto& [cn, co] : c.proj) {
+          if (cn == o) {
+            resolved = co;
+            break;
+          }
+        }
+        EXRQUY_CHECK(resolved != kNoCol);
+        composed.emplace_back(n, resolved);
+      }
+      return ProjectSimplified(c.children[0], std::move(composed));
+    }
+    // Identity?
+    if (proj.size() == c.schema.size()) {
+      bool identity = true;
+      for (const auto& [n, o] : proj) {
+        if (n != o) {
+          identity = false;
+          break;
+        }
+      }
+      if (identity) {
+        // Same column set (sizes equal, all names map to themselves, and
+        // schema checks ensured uniqueness).
+        bool covers = true;
+        for (const auto& [n, o] : proj) {
+          (void)o;
+          if (!c.HasCol(n)) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) return child;
+      }
+    }
+    return dag_->Project(child, std::move(proj));
+  }
+
+  // Collects the location-step leaves under (nested) disjoint unions.
+  // Returns false if any leaf is not a step.
+  bool StepLeaves(OpId id, std::vector<OpId>* leaves) const {
+    const Op& op = dag_->op(id);
+    if (op.kind == OpKind::kUnion) {
+      return StepLeaves(op.children[0], leaves) &&
+             StepLeaves(op.children[1], leaves);
+    }
+    if (op.kind == OpKind::kStep) {
+      leaves->push_back(id);
+      return true;
+    }
+    return false;
+  }
+
+  // True if the two steps provably produce disjoint (iter, item) sets:
+  // the same context input and axis but different element name tests.
+  bool DisjointSteps(OpId a, OpId b) const {
+    const Op& sa = dag_->op(a);
+    const Op& sb = dag_->op(b);
+    return sa.children[0] == sb.children[0] && sa.axis == sb.axis &&
+           sa.axis != Axis::kAttribute &&
+           sa.test.kind == NodeTest::Kind::kName &&
+           sb.test.kind == NodeTest::Kind::kName &&
+           sa.test.name != sb.test.name;
+  }
+
+  OpId RewriteOp(OpId id) {
+    const Op& op = dag_->op(id);
+    const ColSet& required = Required(id);
+
+    switch (op.kind) {
+      case OpKind::kLit:
+      case OpKind::kDoc:
+        return id;
+
+      case OpKind::kProject: {
+        std::vector<std::pair<ColId, ColId>> proj;
+        for (const auto& [n, o] : op.proj) {
+          if (!options_.column_pruning || required.count(n) != 0) {
+            proj.emplace_back(n, o);
+          }
+        }
+        if (proj.empty() && !op.proj.empty()) {
+          proj.push_back(op.proj.front());  // keep the table's row count
+        }
+        return ProjectSimplified(Child(op, 0), std::move(proj));
+      }
+
+      case OpKind::kSelect:
+        return dag_->Select(Child(op, 0), op.col);
+
+      case OpKind::kEquiJoin:
+        return dag_->EquiJoin(Child(op, 0), Child(op, 1), op.col, op.col2);
+
+      case OpKind::kCross: {
+        OpId l = Child(op, 0);
+        OpId r = Child(op, 1);
+        if (options_.column_pruning) {
+          // × with a one-row literal contributing no required column is
+          // the identity.
+          auto prunable = [&](OpId side) {
+            const Op& s = dag_->op(side);
+            if (s.kind != OpKind::kLit || s.lit.rows.size() != 1) {
+              return false;
+            }
+            for (ColId c : s.schema) {
+              if (required.count(c) != 0) return false;
+            }
+            return true;
+          };
+          if (prunable(r)) return l;
+          if (prunable(l)) return r;
+        }
+        return dag_->Cross(l, r);
+      }
+
+      case OpKind::kUnion: {
+        OpId l = Child(op, 0);
+        OpId r = Child(op, 1);
+        // Empty branches vanish.
+        auto is_empty_lit = [&](OpId side) {
+          const Op& s = dag_->op(side);
+          return s.kind == OpKind::kLit && s.lit.rows.empty();
+        };
+        ColSet cols = required;
+        if (cols.empty()) {
+          for (ColId c : op.schema) cols.insert(c);
+        }
+        if (is_empty_lit(l)) return NarrowTo(r, cols);
+        if (is_empty_lit(r)) return NarrowTo(l, cols);
+        // Narrow both branches to the required columns so their schemas
+        // stay aligned after pruning below them.
+        return dag_->Union(NarrowTo(l, cols), NarrowTo(r, cols));
+      }
+
+      case OpKind::kDifference:
+        return dag_->Difference(Child(op, 0), Child(op, 1), op.keys);
+      case OpKind::kSemiJoin:
+        return dag_->SemiJoin(Child(op, 0), Child(op, 1), op.keys);
+
+      case OpKind::kDistinct: {
+        OpId c = Child(op, 0);
+        if (options_.distinct_elimination) {
+          std::vector<OpId> leaves;
+          if (StepLeaves(c, &leaves)) {
+            bool all_disjoint = true;
+            for (size_t i = 0; i < leaves.size() && all_disjoint; ++i) {
+              for (size_t j = i + 1; j < leaves.size(); ++j) {
+                if (leaves[i] != leaves[j] &&
+                    !DisjointSteps(leaves[i], leaves[j])) {
+                  all_disjoint = false;
+                  break;
+                }
+                if (leaves[i] == leaves[j]) {
+                  all_disjoint = false;  // same step twice: duplicates
+                  break;
+                }
+              }
+            }
+            if (all_disjoint && leaves.size() >= 1) {
+              // Steps are duplicate-free and pairwise disjoint: '|' has
+              // become ','.
+              return c;
+            }
+          }
+        }
+        return dag_->Distinct(c);
+      }
+
+      case OpKind::kRowNum: {
+        OpId c = Child(op, 0);
+        if (options_.column_pruning && required.count(op.col) == 0) {
+          return c;  // the rank is never consumed: drop the sort
+        }
+        std::vector<SortKey> order = op.order;
+        ColId part = op.part;
+        if (options_.weaken_rownum) {
+          const ColProps& p = props_.Get(c);
+          // Constant criteria carry no order information.
+          order.erase(std::remove_if(order.begin(), order.end(),
+                                     [&](const SortKey& k) {
+                                       return p.constant.count(k.col) != 0;
+                                     }),
+                      order.end());
+          if (part != kNoCol && p.constant.count(part) != 0) {
+            part = kNoCol;  // all rows in one group
+          }
+          // Ordering led by an arbitrary-order column is arbitrary: with
+          // no meaningful grouping left, % degenerates to # (Section 7).
+          bool arbitrary_order =
+              order.empty() ||
+              p.arbitrary.count(order.front().col) != 0;
+          if (arbitrary_order && part == kNoCol) {
+            return dag_->RowId(c, op.col);
+          }
+        }
+        return dag_->RowNum(c, op.col, std::move(order), part);
+      }
+
+      case OpKind::kRowId: {
+        OpId c = Child(op, 0);
+        if (options_.column_pruning && required.count(op.col) == 0) {
+          return c;
+        }
+        return dag_->RowId(c, op.col);
+      }
+
+      case OpKind::kFun: {
+        OpId c = Child(op, 0);
+        if (options_.column_pruning && required.count(op.col) == 0) {
+          return c;
+        }
+        return dag_->Fun(c, op.fun, op.col, op.args);
+      }
+
+      case OpKind::kAggr:
+        if (op.aggr == AggrKind::kStrJoin) {
+          // Preserves the separator (op.name).
+          return dag_->AggrStrJoin(Child(op, 0), op.col, op.col2, op.part,
+                                   op.keys.empty() ? kNoCol : op.keys[0],
+                                   op.name);
+        }
+        return dag_->Aggr(Child(op, 0), op.aggr, op.col, op.col2, op.part,
+                          op.keys.empty() ? kNoCol : op.keys[0]);
+
+      case OpKind::kStep: {
+        OpId c = Child(op, 0);
+        if (options_.step_merging) {
+          const Op& cs = dag_->op(c);
+          if (cs.kind == OpKind::kStep &&
+              cs.axis == Axis::kDescendantOrSelf &&
+              cs.test.kind == NodeTest::Kind::kAnyKind) {
+            if (op.axis == Axis::kChild) {
+              return dag_->Step(cs.children[0], Axis::kDescendant, op.test);
+            }
+            if (op.axis == Axis::kDescendant) {
+              return dag_->Step(cs.children[0], Axis::kDescendant, op.test);
+            }
+            if (op.axis == Axis::kDescendantOrSelf) {
+              return dag_->Step(cs.children[0], Axis::kDescendantOrSelf,
+                                op.test);
+            }
+          }
+        }
+        return dag_->Step(c, op.axis, op.test);
+      }
+
+      case OpKind::kRange:
+        return dag_->Range(Child(op, 0), op.col, op.col2);
+
+      case OpKind::kCardCheck:
+        return dag_->CardCheck(Child(op, 0), Child(op, 1), op.min_card,
+                               op.max_card, op.name);
+
+      case OpKind::kElem:
+      case OpKind::kAttr:
+      case OpKind::kTextNode: {
+        // Constructors are identity-bearing: rebuild only if a child
+        // changed (keeping the same constructor id).
+        if (Child(op, 0) == op.children[0] &&
+            Child(op, 1) == op.children[1]) {
+          return id;
+        }
+        Op copy = op;
+        copy.children = {Child(op, 0), Child(op, 1)};
+        copy.schema.clear();
+        return dag_->Add(std::move(copy));
+      }
+    }
+    EXRQUY_CHECK(false);
+    return id;
+  }
+
+  Dag* dag_;
+  const RewriteOptions& options_;
+  PropertyTracker props_;
+  std::unordered_map<OpId, ColSet> icols_;
+  std::unordered_map<OpId, OpId> map_;
+};
+
+}  // namespace
+
+OpId RewriteOnce(Dag* dag, OpId root, const RewriteOptions& options,
+                 bool* changed) {
+  Rewriter rewriter(dag, options);
+  return rewriter.Run(root, changed);
+}
+
+}  // namespace exrquy

@@ -1,0 +1,37 @@
+// Plan rewrites driven by column dependency analysis and column
+// properties:
+//
+//  * column pruning — dead %, #, � and attached constants are removed;
+//    projections are narrowed and composed (Section 4.1, Figure 9),
+//  * % weakening — order/grouping criteria that are constant are dropped;
+//    a % ordered (only) by arbitrary-order columns with no meaningful
+//    grouping becomes a free # (Section 7),
+//  * distinct elimination — Distinct over a (union of) location step
+//    results that are pairwise disjoint is removed; this is the rewrite
+//    that trades the node set union '|' for sequence concatenation ','
+//    (Section 4.2, Figure 10),
+//  * step merging — descendant-or-self::node()/child::nt becomes
+//    descendant::nt once the intervening order derivation is gone (the
+//    exceptional Q6/Q7 speedups of Section 5).
+#ifndef EXRQUY_OPT_REWRITES_H_
+#define EXRQUY_OPT_REWRITES_H_
+
+#include "algebra/algebra.h"
+
+namespace exrquy {
+
+struct RewriteOptions {
+  bool column_pruning = true;
+  bool weaken_rownum = true;
+  bool distinct_elimination = true;
+  bool step_merging = true;
+};
+
+// One rewrite pass over the sub-DAG rooted at `root`; returns the new
+// root and sets *changed if the plan shrank or any operator changed.
+OpId RewriteOnce(Dag* dag, OpId root, const RewriteOptions& options,
+                 bool* changed);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_OPT_REWRITES_H_

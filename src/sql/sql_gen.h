@@ -1,0 +1,51 @@
+// SQL:1999 code generation — the "relational back-end" face of the
+// relational XQuery idea (Grust et al., "XQuery on SQL Hosts", VLDB
+// 2004; Section 3 of the paper: the algebra "has been guided by the
+// processing capabilities of SQL-centric relational database kernels",
+// and % "exactly mimics the ROW_NUMBER() OVER (PARTITION BY c ORDER BY
+// b) AS a ranking operator found in the SQL:1999 OLAP amendment").
+//
+// A plan DAG renders as a WITH chain of common table expressions, one
+// per operator, evaluated against a host-side document relation
+//
+//   doc(pre BIGINT, size BIGINT, level INT, kind TEXT, name TEXT,
+//       value TEXT, parent BIGINT, doc_name TEXT)
+//
+// — the pre/size/level encoding of Figure 5. XPath steps compile to
+// range self-joins over that table (descendant: pre BETWEEN c+1 AND
+// c+size); % compiles to ROW_NUMBER() with ORDER BY; # compiles to
+// ROW_NUMBER() OVER () — a free numbering. Node constructors and a few
+// dynamic-typing helpers are rendered as calls to host UDFs (xq_*),
+// which a hosting kernel provides; the generator documents each one it
+// needs in the emitted header comment.
+//
+// The generated SQL is *plan documentation and portability evidence*:
+// this repository executes plans with its own engine (engine/eval.h);
+// the generator is tested for structural faithfulness, not run against
+// a live RDBMS.
+#ifndef EXRQUY_SQL_SQL_GEN_H_
+#define EXRQUY_SQL_SQL_GEN_H_
+
+#include <string>
+
+#include "algebra/algebra.h"
+#include "common/status.h"
+
+namespace exrquy {
+
+struct SqlGenOptions {
+  // Emit the header comment listing the required host UDFs.
+  bool emit_header = true;
+  // Pretty-print with one CTE per line block.
+  bool pretty = true;
+};
+
+// Renders the sub-DAG rooted at `root` as one SQL query. Fails only on
+// malformed plans (never on valid compiler output).
+Result<std::string> PlanToSql(const Dag& dag, OpId root,
+                              const StrPool& strings,
+                              const SqlGenOptions& options = {});
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_SQL_SQL_GEN_H_

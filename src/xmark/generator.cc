@@ -1,0 +1,378 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace exrquy {
+namespace {
+
+// splitmix64: tiny, deterministic, seedable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // True with probability pct/100.
+  bool Percent(int pct) { return Below(100) < static_cast<uint64_t>(pct); }
+
+  double Money(double lo, double hi) {
+    double v = lo + (hi - lo) * (static_cast<double>(Below(100000)) / 100000);
+    return static_cast<double>(static_cast<int64_t>(v * 100)) / 100;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* const kWords[] = {
+    "rage",    "against",  "dying",   "light",   "gentle",  "good",
+    "night",   "wise",     "men",     "know",    "dark",    "words",
+    "forked",  "lightning","deeds",   "danced",  "green",   "bay",
+    "crying",  "bright",   "frail",   "sun",     "flight",  "grieved",
+    "blinding","sight",    "eyes",    "blaze",   "meteors", "gay",
+    "grave",   "fierce",   "tears",   "pray",    "curse",   "bless",
+    "sad",     "height",   "wave",    "caught",  "sang",    "learn",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* const kFirstNames[] = {"Torsten", "Jan",   "Jens",  "Maurice",
+                                   "Peter",   "Sarah", "Ines",  "Stefan",
+                                   "Albrecht", "Ana",  "Kurt",  "Maria"};
+const char* const kLastNames[] = {"Grust",  "Rittinger", "Teubner", "Boncz",
+                                  "Kersten", "Manegold", "Keulen",  "Schmidt",
+                                  "Waas",    "Carey",    "Busse",   "Florescu"};
+const char* const kCities[] = {"Munich",    "Amsterdam", "Twente",
+                               "Konstanz",  "Chicago",   "Trondheim",
+                               "Toronto",   "Madison"};
+const char* const kCountries[] = {"Germany", "Netherlands", "United States",
+                                  "Norway",  "Canada"};
+const char* const kRegions[] = {"africa",   "asia",    "australia",
+                                "europe",   "namerica", "samerica"};
+// Item share per region (percent); australia and europe carry the load
+// queries Q9/Q13 need.
+const int kRegionShare[] = {5, 15, 10, 30, 30, 10};
+
+class Generator {
+ public:
+  explicit Generator(const XMarkOptions& options)
+      : rng_(options.seed), scale_(options.scale) {}
+
+  std::string Run() {
+    out_.reserve(1 << 20);
+    items_ = Count(21750, 6);
+    persons_ = Count(25500, 6);
+    open_auctions_ = Count(12000, 4);
+    closed_auctions_ = Count(9750, 4);
+    categories_ = Count(1000, 3);
+
+    out_ += "<site>\n";
+    Regions();
+    Categories();
+    Catgraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    out_ += "</site>\n";
+    return std::move(out_);
+  }
+
+ private:
+  size_t Count(size_t base, size_t min) {
+    return std::max<size_t>(min,
+                            static_cast<size_t>(base * scale_ + 0.5));
+  }
+
+  void Tag(const char* name, const std::string& text) {
+    out_ += '<';
+    out_ += name;
+    out_ += '>';
+    out_ += text;
+    out_ += "</";
+    out_ += name;
+    out_ += ">\n";
+  }
+
+  std::string Words(size_t n, bool maybe_gold) {
+    std::string s;
+    for (size_t i = 0; i < n; ++i) {
+      if (i) s += ' ';
+      if (maybe_gold && rng_.Percent(8) ) {
+        s += "gold";
+      } else {
+        s += kWords[rng_.Below(kWordCount)];
+      }
+    }
+    return s;
+  }
+
+  std::string MoneyStr(double lo, double hi) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", rng_.Money(lo, hi));
+    return buf;
+  }
+
+  // <text>words <emph>words <keyword>word</keyword></emph> words</text>
+  void TextElem(bool with_keyword, bool maybe_gold) {
+    out_ += "<text>";
+    out_ += Words(4 + rng_.Below(6), maybe_gold);
+    if (with_keyword) {
+      out_ += " <emph>";
+      out_ += Words(2, false);
+      out_ += " <keyword>";
+      out_ += Words(1 + rng_.Below(2), false);
+      out_ += "</keyword>";
+      out_ += "</emph> ";
+      out_ += Words(2, false);
+    } else if (rng_.Percent(30)) {
+      out_ += " <bold>";
+      out_ += Words(2, false);
+      out_ += "</bold> ";
+      out_ += Words(1, maybe_gold);
+    }
+    out_ += "</text>\n";
+  }
+
+  // description with (sometimes) nested parlists; `deep` forces the
+  // parlist/listitem/parlist/listitem/text/emph/keyword chain of Q15/Q16.
+  void Description(bool deep, bool maybe_gold) {
+    out_ += "<description>";
+    if (deep || rng_.Percent(60)) {
+      out_ += "<parlist>";
+      size_t listitems = 1 + rng_.Below(3);
+      for (size_t i = 0; i < listitems; ++i) {
+        out_ += "<listitem>";
+        bool nest = deep ? i == 0 : rng_.Percent(25);
+        if (nest) {
+          out_ += "<parlist><listitem>";
+          TextElem(/*with_keyword=*/deep || rng_.Percent(50), maybe_gold);
+          out_ += "</listitem></parlist>";
+        } else {
+          TextElem(/*with_keyword=*/rng_.Percent(20), maybe_gold);
+        }
+        out_ += "</listitem>";
+      }
+      out_ += "</parlist>";
+    } else {
+      TextElem(/*with_keyword=*/false, maybe_gold);
+    }
+    out_ += "</description>\n";
+  }
+
+  void Item(size_t id) {
+    out_ += "<item id=\"item" + std::to_string(id) + "\">\n";
+    Tag("location", kCountries[rng_.Below(5)]);
+    Tag("quantity", std::to_string(1 + rng_.Below(3)));
+    Tag("name", Words(2, false));
+    Tag("payment", "Creditcard");
+    Description(/*deep=*/false, /*maybe_gold=*/true);
+    out_ += "<shipping>Will ship internationally</shipping>\n";
+    size_t cats = 1 + rng_.Below(3);
+    for (size_t c = 0; c < cats; ++c) {
+      out_ += "<incategory category=\"category" +
+              std::to_string(rng_.Below(categories_)) + "\"/>\n";
+    }
+    if (rng_.Percent(60)) {
+      out_ += "<mailbox><mail>\n";
+      Tag("from", Words(2, false));
+      Tag("to", Words(2, false));
+      Tag("date", Date());
+      TextElem(false, true);
+      out_ += "</mail></mailbox>\n";
+    }
+    out_ += "</item>\n";
+  }
+
+  std::string Date() {
+    return std::to_string(1 + rng_.Below(12)) + "/" +
+           std::to_string(1 + rng_.Below(28)) + "/" +
+           std::to_string(1998 + rng_.Below(4));
+  }
+
+  void Regions() {
+    out_ += "<regions>\n";
+    size_t next_item = 0;
+    for (size_t r = 0; r < 6; ++r) {
+      out_ += '<';
+      out_ += kRegions[r];
+      out_ += ">\n";
+      size_t count = std::max<size_t>(1, items_ * kRegionShare[r] / 100);
+      if (r == 5) count = items_ > next_item ? items_ - next_item : 1;
+      for (size_t i = 0; i < count; ++i) Item(next_item++);
+      out_ += "</";
+      out_ += kRegions[r];
+      out_ += ">\n";
+    }
+    total_items_ = next_item;
+    out_ += "</regions>\n";
+  }
+
+  void Categories() {
+    out_ += "<categories>\n";
+    for (size_t c = 0; c < categories_; ++c) {
+      out_ += "<category id=\"category" + std::to_string(c) + "\">\n";
+      Tag("name", Words(1, false));
+      Description(false, false);
+      out_ += "</category>\n";
+    }
+    out_ += "</categories>\n";
+  }
+
+  void Catgraph() {
+    out_ += "<catgraph>\n";
+    for (size_t e = 0; e < categories_; ++e) {
+      out_ += "<edge from=\"category" +
+              std::to_string(rng_.Below(categories_)) + "\" to=\"category" +
+              std::to_string(rng_.Below(categories_)) + "\"/>\n";
+    }
+    out_ += "</catgraph>\n";
+  }
+
+  void People() {
+    out_ += "<people>\n";
+    for (size_t p = 0; p < persons_; ++p) {
+      out_ += "<person id=\"person" + std::to_string(p) + "\">\n";
+      Tag("name", std::string(kFirstNames[rng_.Below(12)]) + " " +
+                      kLastNames[rng_.Below(12)]);
+      Tag("emailaddress",
+          "mailto:person" + std::to_string(p) + "@example.org");
+      if (rng_.Percent(50)) Tag("phone", "+49 " + std::to_string(rng_.Below(10000000)));
+      if (rng_.Percent(60)) {
+        out_ += "<address>\n";
+        Tag("street", std::to_string(1 + rng_.Below(99)) + " " +
+                          Words(1, false) + " St");
+        Tag("city", kCities[rng_.Below(8)]);
+        Tag("country", kCountries[rng_.Below(5)]);
+        Tag("zipcode", std::to_string(10000 + rng_.Below(89999)));
+        out_ += "</address>\n";
+      }
+      if (rng_.Percent(45)) {
+        Tag("homepage", "http://example.org/~person" + std::to_string(p));
+      }
+      if (rng_.Percent(70)) Tag("creditcard", CardNumber());
+      if (rng_.Percent(80)) {
+        // Roughly half of the profiles carry an income (Q12/Q20 buckets).
+        if (rng_.Percent(75)) {
+          out_ += "<profile income=\"" + MoneyStr(9000, 200000) + "\">\n";
+        } else {
+          out_ += "<profile>\n";
+        }
+        size_t interests = rng_.Below(4);
+        for (size_t i = 0; i < interests; ++i) {
+          out_ += "<interest category=\"category" +
+                  std::to_string(rng_.Below(categories_)) + "\"/>\n";
+        }
+        if (rng_.Percent(40)) Tag("education", "Graduate School");
+        if (rng_.Percent(70)) Tag("gender", rng_.Percent(50) ? "male" : "female");
+        Tag("business", rng_.Percent(50) ? "Yes" : "No");
+        if (rng_.Percent(60)) Tag("age", std::to_string(18 + rng_.Below(60)));
+        out_ += "</profile>\n";
+      }
+      out_ += "</person>\n";
+    }
+    out_ += "</people>\n";
+  }
+
+  std::string CardNumber() {
+    std::string s;
+    for (int g = 0; g < 4; ++g) {
+      if (g) s += ' ';
+      s += std::to_string(1000 + rng_.Below(9000));
+    }
+    return s;
+  }
+
+  void Bidder() {
+    out_ += "<bidder>\n";
+    Tag("date", Date());
+    Tag("time", std::to_string(rng_.Below(24)) + ":" +
+                    std::to_string(10 + rng_.Below(50)));
+    out_ += "<personref person=\"person" +
+            std::to_string(rng_.Below(persons_)) + "\"/>\n";
+    Tag("increase", MoneyStr(1.5, 30));
+    out_ += "</bidder>\n";
+  }
+
+  void OpenAuctions() {
+    out_ += "<open_auctions>\n";
+    for (size_t a = 0; a < open_auctions_; ++a) {
+      out_ += "<open_auction id=\"open_auction" + std::to_string(a) +
+              "\">\n";
+      Tag("initial", MoneyStr(1, 100));
+      if (rng_.Percent(40)) Tag("reserve", MoneyStr(50, 300));
+      size_t bidders = rng_.Below(5);
+      for (size_t b = 0; b < bidders; ++b) Bidder();
+      Tag("current", MoneyStr(1, 400));
+      if (rng_.Percent(30)) Tag("privacy", "Yes");
+      out_ += "<itemref item=\"item" +
+              std::to_string(rng_.Below(total_items_)) + "\"/>\n";
+      out_ += "<seller person=\"person" +
+              std::to_string(rng_.Below(persons_)) + "\"/>\n";
+      Annotation(/*deep=*/rng_.Percent(12));
+      Tag("quantity", "1");
+      Tag("type", "Regular");
+      out_ += "<interval>";
+      Tag("start", Date());
+      Tag("end", Date());
+      out_ += "</interval>\n";
+      out_ += "</open_auction>\n";
+    }
+    out_ += "</open_auctions>\n";
+  }
+
+  void Annotation(bool deep) {
+    out_ += "<annotation>\n";
+    Tag("author", std::string(kFirstNames[rng_.Below(12)]) + " " +
+                      kLastNames[rng_.Below(12)]);
+    Description(deep, false);
+    Tag("happiness", std::to_string(1 + rng_.Below(10)));
+    out_ += "</annotation>\n";
+  }
+
+  void ClosedAuctions() {
+    out_ += "<closed_auctions>\n";
+    for (size_t a = 0; a < closed_auctions_; ++a) {
+      out_ += "<closed_auction>\n";
+      out_ += "<seller person=\"person" +
+              std::to_string(rng_.Below(persons_)) + "\"/>\n";
+      out_ += "<buyer person=\"person" +
+              std::to_string(rng_.Below(persons_)) + "\"/>\n";
+      out_ += "<itemref item=\"item" +
+              std::to_string(rng_.Below(total_items_)) + "\"/>\n";
+      Tag("price", MoneyStr(5, 200));
+      Tag("date", Date());
+      Tag("quantity", "1");
+      Tag("type", rng_.Percent(50) ? "Regular" : "Featured");
+      Annotation(/*deep=*/rng_.Percent(15));
+      out_ += "</closed_auction>\n";
+    }
+    out_ += "</closed_auctions>\n";
+  }
+
+  Rng rng_;
+  double scale_;
+  std::string out_;
+  size_t items_ = 0;
+  size_t total_items_ = 0;
+  size_t persons_ = 0;
+  size_t open_auctions_ = 0;
+  size_t closed_auctions_ = 0;
+  size_t categories_ = 0;
+};
+
+}  // namespace
+
+std::string GenerateXMark(const XMarkOptions& options) {
+  return Generator(options).Run();
+}
+
+}  // namespace exrquy

@@ -1,0 +1,30 @@
+// Deterministic XMark-style auction document generator (Schmidt et al.,
+// "XMark: A Benchmark for XML Data Management", VLDB 2002). Reproduces
+// the structural features the twenty benchmark queries exercise:
+// regions/items (with category references and "gold"-bearing
+// descriptions), categories, people (ids, optional income/homepage,
+// interests), open auctions (bidders with increases, initial/reserve),
+// and closed auctions (buyer/seller/price and the deeply nested
+// parlist/listitem/.../emph/keyword annotations of Q15/Q16).
+//
+// `scale` follows XMark's scale factor: scale 1.0 corresponds to the
+// original ~100 MB / 25,500-person document; the defaults target
+// CI-class machines (documented substitution in DESIGN.md).
+#ifndef EXRQUY_XMARK_GENERATOR_H_
+#define EXRQUY_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace exrquy {
+
+struct XMarkOptions {
+  double scale = 0.005;
+  uint64_t seed = 42;
+};
+
+std::string GenerateXMark(const XMarkOptions& options = {});
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_XMARK_GENERATOR_H_

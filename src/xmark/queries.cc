@@ -1,0 +1,173 @@
+#include "xmark/queries.h"
+
+namespace exrquy {
+
+// Adaptations relative to the original XMark formulations:
+//  * person/item id constants are scaled down (the generator produces
+//    smaller instances),
+//  * Q18's user-defined function is kept (the normalizer inlines it),
+//  * Q19 orders by zero-or-one($b/location) exactly as the original,
+//  * no other structural changes.
+const std::vector<XMarkQuery>& XMarkQueries() {
+  static const std::vector<XMarkQuery>* queries = new std::vector<XMarkQuery>{
+      {"Q1",
+       R"(for $b in doc("auction.xml")/site/people/person[@id = "person0"]
+return $b/name/text())"},
+
+      {"Q2",
+       R"(for $b in doc("auction.xml")/site/open_auctions/open_auction
+return <increase>{ $b/bidder[1]/increase/text() }</increase>)"},
+
+      {"Q3",
+       R"(for $b in doc("auction.xml")/site/open_auctions/open_auction
+where zero-or-one($b/bidder[1]/increase/text()) * 2
+      <= $b/bidder[last()]/increase/text()
+return <increase first="{ $b/bidder[1]/increase/text() }"
+                 last="{ $b/bidder[last()]/increase/text() }"/>)"},
+
+      {"Q4",
+       R"(for $b in doc("auction.xml")/site/open_auctions/open_auction
+where some $pr1 in $b/bidder/personref[@person = "person3"],
+           $pr2 in $b/bidder/personref[@person = "person7"]
+      satisfies $pr1 << $pr2
+return <history>{ $b/reserve/text() }</history>)"},
+
+      {"Q5",
+       R"(count(for $i in doc("auction.xml")/site/closed_auctions/closed_auction
+      where $i/price/text() >= 40
+      return $i/price))"},
+
+      {"Q6",
+       R"(for $b in doc("auction.xml")/site/regions
+return count($b//item))"},
+
+      {"Q7",
+       R"(for $p in doc("auction.xml")/site
+return count($p//description) + count($p//annotation)
+       + count($p//emailaddress))"},
+
+      {"Q8",
+       R"(for $p in doc("auction.xml")/site/people/person
+let $a := for $t in doc("auction.xml")/site/closed_auctions/closed_auction
+          where $t/buyer/@person = $p/@id
+          return $t
+return <item person="{ $p/name/text() }">{ count($a) }</item>)"},
+
+      {"Q9",
+       R"(let $auction := doc("auction.xml")
+for $p in $auction/site/people/person
+let $a := for $t in $auction/site/closed_auctions/closed_auction
+          let $n := for $t2 in $auction/site/regions/europe/item
+                    where $t/itemref/@item = $t2/@id
+                    return $t2
+          where $p/@id = $t/buyer/@person
+          return <item>{ $n/name/text() }</item>
+return <person name="{ $p/name/text() }">{ $a }</person>)"},
+
+      {"Q10",
+       R"(for $i in distinct-values(
+    doc("auction.xml")/site/people/person/profile/interest/@category)
+let $p := for $t in doc("auction.xml")/site/people/person
+          where $t/profile/interest/@category = $i
+          return <personne>
+                   <statistiques>
+                     <sexe>{ $t/profile/gender/text() }</sexe>
+                     <age>{ $t/profile/age/text() }</age>
+                     <education>{ $t/profile/education/text() }</education>
+                     <revenu>{ fn:data($t/profile/@income) }</revenu>
+                   </statistiques>
+                   <coordonnees>
+                     <nom>{ $t/name/text() }</nom>
+                     <rue>{ $t/address/street/text() }</rue>
+                     <ville>{ $t/address/city/text() }</ville>
+                     <pays>{ $t/address/country/text() }</pays>
+                     <reseau>
+                       <courrier>{ $t/emailaddress/text() }</courrier>
+                       <pagePerso>{ $t/homepage/text() }</pagePerso>
+                     </reseau>
+                   </coordonnees>
+                   <cartePaiement>{ $t/creditcard/text() }</cartePaiement>
+                 </personne>
+return <categorie>{ <id>{ $i }</id>, $p }</categorie>)"},
+
+      {"Q11",
+       R"(let $auction := doc("auction.xml")
+for $p in $auction/site/people/person
+let $l := for $i in $auction/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i
+          return $i
+return <items name="{ $p/name }">{ fn:count($l) }</items>)"},
+
+      {"Q12",
+       R"(for $p in doc("auction.xml")/site/people/person
+let $l := for $i in doc("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * exactly-one($i/text())
+          return $i
+where $p/profile/@income > 50000
+return <items person="{ $p/profile/@income }">{ count($l) }</items>)"},
+
+      {"Q13",
+       R"(for $i in doc("auction.xml")/site/regions/australia/item
+return <item name="{ $i/name/text() }">{ $i/description }</item>)"},
+
+      {"Q14",
+       R"(for $i in doc("auction.xml")/site//item
+where contains(string(exactly-one($i/description)), "gold")
+return $i/name/text())"},
+
+      {"Q15",
+       R"(for $a in doc("auction.xml")/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()
+return <text>{ $a }</text>)"},
+
+      {"Q16",
+       R"(for $a in doc("auction.xml")/site/closed_auctions/closed_auction
+where not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()))
+return <person id="{ $a/seller/@person }"/>)"},
+
+      {"Q17",
+       R"(for $p in doc("auction.xml")/site/people/person
+where empty($p/homepage/text())
+return <person name="{ $p/name/text() }"/>)"},
+
+      {"Q18",
+       R"(declare function local:convert($v) { 2.20371 * $v };
+for $i in doc("auction.xml")/site/open_auctions/open_auction
+return local:convert(zero-or-one($i/reserve/text())))"},
+
+      {"Q19",
+       R"(for $b in doc("auction.xml")/site/regions//item
+let $k := $b/name/text()
+order by zero-or-one($b/location) ascending
+return <item name="{ $k }">{ $b/location/text() }</item>)"},
+
+      {"Q20",
+       R"(<result>
+  <preferred>{
+    count(doc("auction.xml")/site/people/person/profile[@income >= 100000])
+  }</preferred>
+  <standard>{
+    count(doc("auction.xml")/site/people/person/profile[
+        @income < 100000 and @income >= 30000])
+  }</standard>
+  <challenge>{
+    count(doc("auction.xml")/site/people/person/profile[@income < 30000])
+  }</challenge>
+  <na>{
+    count(for $p in doc("auction.xml")/site/people/person
+          where empty($p/profile/@income)
+          return $p)
+  }</na>
+</result>)"},
+  };
+  return *queries;
+}
+
+const std::string& XMarkQueryText(const std::string& name) {
+  static const std::string* empty = new std::string();
+  for (const XMarkQuery& q : XMarkQueries()) {
+    if (q.name == name) return q.text;
+  }
+  return *empty;
+}
+
+}  // namespace exrquy

@@ -1,0 +1,26 @@
+// The twenty XMark benchmark queries (Schmidt et al., VLDB 2002),
+// syntactically adapted to the supported XQuery subset; the paper's
+// Figure 12 evaluates exactly this query set. Adaptations are noted
+// inline in queries.cc.
+#ifndef EXRQUY_XMARK_QUERIES_H_
+#define EXRQUY_XMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace exrquy {
+
+struct XMarkQuery {
+  std::string name;  // "Q1" .. "Q20"
+  std::string text;
+};
+
+const std::vector<XMarkQuery>& XMarkQueries();
+
+// Returns the text of the query with the given name ("Q11"), or an empty
+// string when unknown.
+const std::string& XMarkQueryText(const std::string& name);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_XMARK_QUERIES_H_

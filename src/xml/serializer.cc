@@ -1,0 +1,154 @@
+#include "xml/serializer.h"
+
+#include "common/check.h"
+
+namespace exrquy {
+
+void EscapeText(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        *out += "&amp;";
+        break;
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void EscapeAttribute(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        *out += "&amp;";
+        break;
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '"':
+        *out += "&quot;";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+namespace {
+
+void Indent(int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+// Serializes element node `n`; returns the first preorder rank after its
+// subtree.
+NodeIdx SerializeElement(const NodeStore& store, NodeIdx n, int depth,
+                         const XmlSerializeOptions& options,
+                         std::string* out) {
+  EXRQUY_DCHECK(store.kind(n) == NodeKind::kElement);
+  if (options.indent) Indent(depth, out);
+  *out += '<';
+  *out += store.name_str(n);
+  NodeIdx end = n + store.size(n) + 1;
+  NodeIdx child = n + 1;
+  while (child < end && store.kind(child) == NodeKind::kAttribute) {
+    *out += ' ';
+    *out += store.name_str(child);
+    *out += "=\"";
+    EscapeAttribute(store.value_str(child), out);
+    *out += '"';
+    ++child;
+  }
+  if (child == end) {
+    *out += "/>";
+    if (options.indent) *out += '\n';
+    return end;
+  }
+  *out += '>';
+  bool has_element_children = false;
+  for (NodeIdx c = child; c < end; c += store.size(c) + 1) {
+    if (store.kind(c) == NodeKind::kElement) has_element_children = true;
+  }
+  bool pretty = options.indent && has_element_children;
+  if (pretty) *out += '\n';
+  while (child < end) {
+    switch (store.kind(child)) {
+      case NodeKind::kElement:
+        child = SerializeElement(store, child, depth + 1, options, out);
+        break;
+      case NodeKind::kText:
+        if (pretty) Indent(depth + 1, out);
+        EscapeText(store.value_str(child), out);
+        if (pretty) *out += '\n';
+        ++child;
+        break;
+      case NodeKind::kComment:
+        *out += "<!--";
+        *out += store.value_str(child);
+        *out += "-->";
+        ++child;
+        break;
+      default:
+        EXRQUY_CHECK(false);
+    }
+  }
+  if (pretty) Indent(depth, out);
+  *out += "</";
+  *out += store.name_str(n);
+  *out += '>';
+  if (options.indent) *out += '\n';
+  return end;
+}
+
+}  // namespace
+
+void SerializeNode(const NodeStore& store, NodeIdx n,
+                   const XmlSerializeOptions& options, std::string* out) {
+  switch (store.kind(n)) {
+    case NodeKind::kDocument: {
+      NodeIdx end = n + store.size(n) + 1;
+      NodeIdx child = n + 1;
+      while (child < end) {
+        SerializeNode(store, child, options, out);
+        child += store.size(child) + 1;
+      }
+      break;
+    }
+    case NodeKind::kElement:
+      SerializeElement(store, n, 0, options, out);
+      break;
+    case NodeKind::kAttribute:
+      // A bare attribute serializes as name="value" (useful in results).
+      *out += store.name_str(n);
+      *out += "=\"";
+      EscapeAttribute(store.value_str(n), out);
+      *out += '"';
+      break;
+    case NodeKind::kText:
+      EscapeText(store.value_str(n), out);
+      break;
+    case NodeKind::kComment:
+      *out += "<!--";
+      *out += store.value_str(n);
+      *out += "-->";
+      break;
+  }
+}
+
+std::string SerializeNode(const NodeStore& store, NodeIdx n,
+                          const XmlSerializeOptions& options) {
+  std::string out;
+  SerializeNode(store, n, options, &out);
+  return out;
+}
+
+}  // namespace exrquy

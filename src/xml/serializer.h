@@ -1,0 +1,30 @@
+// XML serialization of nodes from a NodeStore.
+#ifndef EXRQUY_XML_SERIALIZER_H_
+#define EXRQUY_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node_store.h"
+
+namespace exrquy {
+
+struct XmlSerializeOptions {
+  bool indent = false;  // pretty-print with two-space indentation
+};
+
+// Serializes the subtree rooted at `n` (document nodes serialize their
+// children). Appends to `*out`.
+void SerializeNode(const NodeStore& store, NodeIdx n,
+                   const XmlSerializeOptions& options, std::string* out);
+
+std::string SerializeNode(const NodeStore& store, NodeIdx n,
+                          const XmlSerializeOptions& options = {});
+
+// Escapes character data (&, <, >).
+void EscapeText(std::string_view s, std::string* out);
+// Escapes attribute values (&, <, >, ").
+void EscapeAttribute(std::string_view s, std::string* out);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_XML_SERIALIZER_H_

@@ -1,0 +1,78 @@
+// The XPath location-step operator ⊙ax::nt of Table 1: consumes
+// (iter, context node) pairs and produces a duplicate-free table of
+// (iter, result node) pairs. The implementation follows the staircase
+// join idea — context sets are sorted and pruned (a context contained in
+// another context's subtree contributes nothing new to descendant-type
+// axes) — and uses a per-tag name index (binary-searched preorder ranges)
+// as the fast path for descendant::nt, the access pattern that TwigStack-
+// style element streams provide in the paper's setting.
+#ifndef EXRQUY_XML_STEP_H_
+#define EXRQUY_XML_STEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node_store.h"
+
+namespace exrquy {
+
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kAttribute,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kFollowing,
+  kPreceding,
+};
+
+const char* AxisName(Axis axis);
+
+// A node test. Name and wildcard tests select the principal node kind of
+// the axis (attributes on the attribute axis, elements elsewhere).
+struct NodeTest {
+  enum class Kind : uint8_t {
+    kAnyKind,   // node()
+    kText,      // text()
+    kComment,   // comment()
+    kWildcard,  // *
+    kName,      // QName
+  };
+
+  Kind kind = Kind::kAnyKind;
+  StrId name = StrPool::kEmpty;
+
+  static NodeTest AnyKind() { return NodeTest{Kind::kAnyKind, 0}; }
+  static NodeTest Text() { return NodeTest{Kind::kText, 0}; }
+  static NodeTest Wildcard() { return NodeTest{Kind::kWildcard, 0}; }
+  static NodeTest Name(StrId n) { return NodeTest{Kind::kName, n}; }
+
+  bool operator==(const NodeTest& other) const = default;
+};
+
+std::string NodeTestToString(const NodeTest& test, const StrPool& strings);
+
+// True iff node `n` matches `test` under `axis`'s principal node kind.
+bool MatchesTest(const NodeStore& store, NodeIdx n, Axis axis,
+                 const NodeTest& test);
+
+// Evaluates the step for every (iter, node) context pair. Contexts need
+// not be sorted or duplicate-free. The output is duplicate-free per iter
+// and sorted by (iter, node) — a deterministic order the *algebra* does
+// not rely on (sequence order is derived upstream by % or #, per the
+// paper).
+void EvalStep(const NodeStore& store, Axis axis, const NodeTest& test,
+              std::vector<int64_t> iters, std::vector<NodeIdx> nodes,
+              std::vector<int64_t>* out_iters,
+              std::vector<NodeIdx>* out_nodes);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_XML_STEP_H_

@@ -1,0 +1,28 @@
+// Minimal non-validating XML parser sufficient for XMark-style documents:
+// elements, attributes, character data (with entity references), comments,
+// processing instructions and the XML declaration (both skipped), CDATA.
+#ifndef EXRQUY_XML_XML_PARSER_H_
+#define EXRQUY_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/node_store.h"
+
+namespace exrquy {
+
+struct XmlParseOptions {
+  // Drop text nodes that consist only of whitespace (boundary whitespace
+  // between elements). XMark data has no meaningful whitespace-only text.
+  bool strip_whitespace = true;
+};
+
+// Parses `text` into a new fragment of `store` rooted at a document node.
+// Returns the document node's preorder rank. The fragment is registered
+// but not name-indexed; callers decide whether to IndexFragment it.
+Result<NodeIdx> ParseXml(NodeStore* store, std::string_view text,
+                         const XmlParseOptions& options = {});
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_XML_XML_PARSER_H_

@@ -1,0 +1,37 @@
+// XQuery -> Core normalization J.K (Section 2.2 of the paper):
+//
+//  * user-declared (non-recursive) functions are inlined via let bindings,
+//  * `every $x in d satisfies s` rewrites to
+//    `fn:not(some $x in d satisfies fn:not(s))`,
+//  * and — when order indifference is enabled — calls to fn:unordered()
+//    are inserted in the places where sequence order is unobservable:
+//    aggregate arguments (Rule FN:COUNT and friends), quantifier domains
+//    (Rule QUANT), and the operands of general comparisons (whose
+//    normalization is based on `some`). These rules apply in either
+//    ordering mode.
+//
+// The mode-dependent rules (FOR/STEP/UNION, i.e. LOC#/BIND#) are
+// implemented directly in the compiler, which tracks the lexical ordering
+// mode — the paper shows (Section 2.2) that Rule FOR cannot even be
+// expressed faithfully at the language level.
+#ifndef EXRQUY_XQUERY_NORMALIZE_H_
+#define EXRQUY_XQUERY_NORMALIZE_H_
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace exrquy {
+
+struct NormalizeOptions {
+  // Insert fn:unordered() per rules FN:COUNT / QUANT / general-comparison
+  // normalization. Off in the paper's baseline configuration.
+  bool insert_unordered = true;
+};
+
+// Normalizes `query` in place. Fails on recursive or unknown local
+// functions and on arity mismatches.
+Status Normalize(Query* query, const NormalizeOptions& options);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_XQUERY_NORMALIZE_H_

@@ -1,0 +1,24 @@
+// Recursive-descent parser for the supported XQuery subset: prolog
+// (declare ordering, declare function), FLWOR, quantifiers, conditionals,
+// path expressions with predicates, set operations, comparisons,
+// arithmetic, direct element constructors with attribute value templates,
+// and ordered{}/unordered{} expressions.
+#ifndef EXRQUY_XQUERY_PARSER_H_
+#define EXRQUY_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace exrquy {
+
+// Parses a complete query module (prolog + body).
+Result<Query> ParseQuery(std::string_view text);
+
+// Parses a single expression (tests and tools).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_XQUERY_PARSER_H_

@@ -1,0 +1,168 @@
+// Unit tests for the algebra DAG: schema computation, hash-consing
+// (plan sharing), constructor identity, topological reachability, plan
+// statistics and DOT rendering.
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+#include "algebra/dot.h"
+#include "algebra/stats.h"
+
+namespace exrquy {
+namespace {
+
+using col::item;
+using col::iter;
+using col::pos;
+
+OpId Loop1(Dag* dag) {
+  LitTable t;
+  t.cols = {iter()};
+  t.rows = {{Value::Int(1)}};
+  return dag->Lit(std::move(t));
+}
+
+TEST(AlgebraTest, LitSchemaAndHashConsing) {
+  Dag dag;
+  OpId a = Loop1(&dag);
+  OpId b = Loop1(&dag);
+  EXPECT_EQ(a, b);  // identical literals share one node
+  EXPECT_EQ(dag.op(a).schema, (std::vector<ColId>{iter()}));
+}
+
+TEST(AlgebraTest, ProjectRenames) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  ColId out = ColSym("renamed");
+  OpId p = dag.Project(l, {{out, iter()}});
+  EXPECT_EQ(dag.op(p).schema, (std::vector<ColId>{out}));
+}
+
+TEST(AlgebraTest, AttachConstBuildsCrossWithSingletonLit) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  OpId a = dag.AttachConst(l, pos(), Value::Int(1));
+  const Op& op = dag.op(a);
+  EXPECT_EQ(op.kind, OpKind::kCross);
+  EXPECT_TRUE(op.HasCol(iter()));
+  EXPECT_TRUE(op.HasCol(pos()));
+  const Op& lit = dag.op(op.children[1]);
+  EXPECT_EQ(lit.kind, OpKind::kLit);
+  EXPECT_EQ(lit.lit.rows.size(), 1u);
+}
+
+TEST(AlgebraTest, SharedSubplansReuseIds) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  OpId a1 = dag.AttachConst(l, pos(), Value::Int(1));
+  OpId a2 = dag.AttachConst(l, pos(), Value::Int(1));
+  OpId a3 = dag.AttachConst(l, pos(), Value::Int(2));
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+}
+
+TEST(AlgebraTest, ConstructorsNeverShared) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  OpId content = dag.AttachConst(
+      dag.AttachConst(l, pos(), Value::Int(1)), item(), Value::Int(7));
+  StrId name = 1;
+  OpId e1 = dag.Elem(name, content, l);
+  OpId e2 = dag.Elem(name, content, l);
+  EXPECT_NE(e1, e2);  // distinct node identities
+}
+
+TEST(AlgebraTest, RowNumAddsColumn) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  OpId q = dag.AttachConst(l, pos(), Value::Int(1));
+  OpId rn = dag.RowNum(q, ColSym("rank"), {{pos(), false}}, iter());
+  EXPECT_TRUE(dag.op(rn).HasCol(ColSym("rank")));
+  EXPECT_EQ(dag.op(rn).schema.size(), 3u);
+}
+
+TEST(AlgebraTest, UnionRequiresSameColumnSet) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  OpId a = dag.AttachConst(l, pos(), Value::Int(1));
+  OpId b = dag.AttachConst(l, pos(), Value::Int(2));
+  OpId u = dag.Union(a, b);
+  EXPECT_EQ(dag.op(u).schema.size(), 2u);
+}
+
+TEST(AlgebraTest, ReachableFromIsTopological) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  OpId a = dag.AttachConst(l, pos(), Value::Int(1));
+  OpId b = dag.AttachConst(a, item(), Value::Int(2));
+  OpId f = dag.Fun(b, FunKind::kAdd, ColSym("sum2"), {pos(), item()});
+  std::vector<OpId> order = dag.ReachableFrom(f);
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (OpId c : dag.op(order[i]).children) {
+      // Children appear before their parents.
+      auto it = std::find(order.begin(), order.begin() + i, c);
+      EXPECT_NE(it, order.begin() + i);
+    }
+  }
+  EXPECT_EQ(order.back(), f);
+}
+
+TEST(AlgebraTest, ReachableSkipsUnrelated) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  OpId a = dag.AttachConst(l, pos(), Value::Int(1));
+  OpId unrelated = dag.AttachConst(l, item(), Value::Int(9));
+  std::vector<OpId> order = dag.ReachableFrom(a);
+  EXPECT_EQ(std::find(order.begin(), order.end(), unrelated), order.end());
+}
+
+TEST(AlgebraTest, PlanStatsTallies) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  OpId a = dag.AttachConst(l, pos(), Value::Int(1));
+  OpId rn = dag.RowNum(a, ColSym("r1"), {{pos(), false}}, kNoCol);
+  OpId ri = dag.RowId(rn, ColSym("r2"));
+  PlanStats stats = CollectPlanStats(dag, ri);
+  EXPECT_EQ(stats.rownum_ops, 1u);
+  EXPECT_EQ(stats.rowid_ops, 1u);
+  EXPECT_EQ(stats.total_ops, 5u);  // lit, lit, cross, rownum, rowid
+  EXPECT_NE(stats.ToString().find("1 %"), std::string::npos);
+}
+
+TEST(AlgebraTest, SetProvKeepsFirstLabel) {
+  Dag dag;
+  OpId l = Loop1(&dag);
+  dag.SetProv(l, "first");
+  dag.SetProv(l, "second");
+  EXPECT_EQ(dag.op(l).prov, "first");
+}
+
+TEST(AlgebraTest, DotRenderingMentionsOperators) {
+  Dag dag;
+  StrPool strings;
+  OpId l = Loop1(&dag);
+  OpId st = dag.Step(dag.AttachConst(l, item(), Value::Node(0)),
+                     Axis::kDescendant,
+                     NodeTest::Name(strings.Intern("item")));
+  OpId rn = dag.RowNum(st, pos(), {{item(), false}}, iter());
+  std::string dot = PlanToDot(dag, rn, strings);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("descendant::item"), std::string::npos);
+  EXPECT_NE(dot.find("RowNum pos:<item>|iter"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(AlgebraTest, OpToStringShapes) {
+  Dag dag;
+  StrPool strings;
+  OpId l = Loop1(&dag);
+  EXPECT_NE(OpToString(dag, l, strings).find("Lit"), std::string::npos);
+  OpId d = dag.Distinct(l);
+  EXPECT_EQ(OpToString(dag, d, strings), "Distinct");
+  OpId sj = dag.SemiJoin(l, l, {iter()});
+  EXPECT_EQ(OpToString(dag, sj, strings), "SemiJoin on iter");
+  OpId ag = dag.Aggr(l, AggrKind::kCount, ColSym("cnt"), kNoCol, iter());
+  EXPECT_EQ(OpToString(dag, ag, strings), "Aggr cnt:count|iter");
+}
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,122 @@
+// Unit tests for the common layer: Status/Result, string interning,
+// column symbols, Value identity/hashing.
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/str_pool.h"
+#include "common/symbols.h"
+#include "common/value.h"
+
+namespace exrquy {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = TypeError("bad operand");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_EQ(st.message(), "bad operand");
+  EXPECT_EQ(st.ToString(), "TypeError: bad operand");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(CardinalityError("x").code(), StatusCode::kCardinalityError);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ConvertibleValue) {
+  // shared_ptr<X> converts into Result<shared_ptr<const X>>.
+  auto p = std::make_shared<int>(7);
+  Result<std::shared_ptr<const int>> r = p;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StrPoolTest, EmptyStringIsIdZero) {
+  StrPool pool;
+  EXPECT_EQ(pool.Intern(""), StrPool::kEmpty);
+  EXPECT_EQ(pool.Get(StrPool::kEmpty), "");
+}
+
+TEST(StrPoolTest, InternDeduplicates) {
+  StrPool pool;
+  StrId a = pool.Intern("hello");
+  StrId b = pool.Intern("hello");
+  StrId c = pool.Intern("world");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.Get(a), "hello");
+  EXPECT_EQ(pool.Get(c), "world");
+}
+
+TEST(StrPoolTest, ReferencesStableUnderGrowth) {
+  StrPool pool;
+  StrId first = pool.Intern("stable");
+  const std::string* addr = &pool.Get(first);
+  for (int i = 0; i < 10000; ++i) {
+    pool.Intern("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(&pool.Get(first), addr);
+  EXPECT_EQ(pool.Get(first), "stable");
+  // Dedup still works after heavy growth.
+  EXPECT_EQ(pool.Intern("filler5000"), pool.Intern("filler5000"));
+}
+
+TEST(SymbolsTest, WellKnownColumnsAreStable) {
+  EXPECT_EQ(col::iter(), ColSym("iter"));
+  EXPECT_EQ(col::pos(), ColSym("pos"));
+  EXPECT_EQ(col::item(), ColSym("item"));
+  EXPECT_EQ(ColName(col::bind()), "bind");
+}
+
+TEST(SymbolsTest, FreshColsAreUnique) {
+  ColId a = FreshCol("pos");
+  ColId b = FreshCol("pos");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, col::pos());
+  EXPECT_EQ(ColName(a).substr(0, 4), "pos$");
+}
+
+TEST(ValueTest, IdentityPerKind) {
+  EXPECT_TRUE(Value::Int(3) == Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Int(4));
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.0));  // bit identity
+  EXPECT_TRUE(Value::Bool(true) == Value::Bool(true));
+  EXPECT_TRUE(Value::Node(9) == Value::Node(9));
+  EXPECT_FALSE(Value::Str(1) == Value::Untyped(1));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(123).Hash(), Value::Int(123).Hash());
+  EXPECT_EQ(Value::Str(5).Hash(), Value::Str(5).Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Node(1).Hash());
+}
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,175 @@
+// Plan-shape tests for the compilation scheme ·⇒·: the ordered rules LOC
+// and BIND emit % where the order interactions demand it; their # twins
+// LOC# and BIND# (Figure 7) fire under ordering mode unordered; Rule
+// FN:UNORDERED implements fn:unordered(); and the baseline configuration
+// treats fn:unordered() as the identity (Section 6).
+#include <gtest/gtest.h>
+
+#include "algebra/stats.h"
+#include "api/session.h"
+
+namespace exrquy {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        session_.LoadDocument("t.xml", "<a><b><c/><d/></b><c/></a>").ok());
+  }
+
+  // Plan statistics of the *emitted* (pre-rewrite) plan.
+  PlanStats Emitted(const std::string& query, const QueryOptions& options) {
+    Result<QueryPlans> p = session_.Plan(query, options);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return CollectPlanStats(*p->dag, p->initial);
+  }
+
+  static QueryOptions Ordered() {
+    QueryOptions o;
+    o.default_ordering = OrderingMode::kOrdered;
+    return o;
+  }
+
+  static QueryOptions Unordered() {
+    QueryOptions o;
+    o.default_ordering = OrderingMode::kUnordered;
+    return o;
+  }
+
+  static QueryOptions BaselineOpts() {
+    QueryOptions o;
+    o.enable_order_indifference = false;
+    return o;
+  }
+
+  Session session_;
+};
+
+TEST_F(CompilerTest, RuleLocEmitsRowNumPerStep) {
+  PlanStats s = Emitted(R"(doc("t.xml")/a/b)", Ordered());
+  // Two steps, each wrapped in %pos:<item>|iter (plus the doc step's
+  // absence — fn:doc contributes none).
+  EXPECT_EQ(s.step_ops, 2u);
+  EXPECT_EQ(s.rownum_ops, 2u);
+  EXPECT_EQ(s.rowid_ops, 0u);
+}
+
+TEST_F(CompilerTest, RuleLocSharpEmitsRowId) {
+  PlanStats s = Emitted(R"(doc("t.xml")/a/b)", Unordered());
+  EXPECT_EQ(s.step_ops, 2u);
+  EXPECT_EQ(s.rownum_ops, 0u);
+  EXPECT_EQ(s.rowid_ops, 2u);
+}
+
+TEST_F(CompilerTest, RuleBindUsesRowNumOrderedRowIdUnordered) {
+  const std::string q = "for $x in (1,2,3) return $x";
+  PlanStats ordered = Emitted(q, Ordered());
+  PlanStats unordered = Emitted(q, Unordered());
+  // Ordered: %bind:<iter,pos> plus the back-map %pos1.
+  EXPECT_EQ(ordered.rownum_ops, 3u);  // sequence, bind, back-map
+  EXPECT_EQ(ordered.rowid_ops, 0u);
+  // Unordered: #bind replaces the bind %; the back-map % remains (the
+  // iter->seq interaction is not disabled by mode unordered — Fig. 6(b)).
+  EXPECT_EQ(unordered.rownum_ops, 2u);
+  EXPECT_EQ(unordered.rowid_ops, 1u);
+}
+
+TEST_F(CompilerTest, FnUnorderedIsIdentityInBaseline) {
+  const std::string q = "unordered(for $x in (1,2) return $x)";
+  PlanStats base = Emitted(q, BaselineOpts());
+  PlanStats enabled = Emitted(q, Ordered());
+  // The enabled configuration appends #pos(π); baseline compiles the
+  // argument only.
+  EXPECT_EQ(base.rowid_ops, 0u);
+  EXPECT_GE(enabled.rowid_ops, 1u);
+}
+
+TEST_F(CompilerTest, BaselineForcesOrderedModeEvenWithProlog) {
+  const std::string q =
+      R"(declare ordering unordered; doc("t.xml")/a/b)";
+  PlanStats base = Emitted(q, BaselineOpts());
+  EXPECT_EQ(base.rowid_ops, 0u);
+  EXPECT_EQ(base.rownum_ops, 2u);
+  PlanStats enabled = Emitted(q, Ordered());  // prolog overrides default
+  EXPECT_EQ(enabled.rowid_ops, 2u);
+}
+
+TEST_F(CompilerTest, OrderedBraceRestoresStrictRules) {
+  const std::string q =
+      R"(ordered { doc("t.xml")/a/b })";
+  PlanStats s = Emitted(q, Unordered());
+  EXPECT_EQ(s.rownum_ops, 2u);
+  EXPECT_EQ(s.rowid_ops, 0u);
+}
+
+TEST_F(CompilerTest, UnorderedBraceWeakensLexically) {
+  const std::string q =
+      R"((doc("t.xml")/a/b, unordered { doc("t.xml")/a/b }))";
+  PlanStats s = Emitted(q, Ordered());
+  // The plain path uses %, the unordered one # — mixed in one plan, the
+  // "ability to freely mix order-dependent and order-indifferent code"
+  // (Section 4). The shared path below the unordered{} braces is compiled
+  // once per mode.
+  EXPECT_GE(s.rownum_ops, 2u);
+  EXPECT_GE(s.rowid_ops, 2u);
+}
+
+TEST_F(CompilerTest, OrderByFreesTheBinding) {
+  const std::string q =
+      "for $x in (3,1,2) order by $x return $x";
+  PlanStats s = Emitted(q, Ordered());
+  // BIND# fires although the mode is ordered: the result is explicitly
+  // reordered (context (f) of Section 1).
+  EXPECT_GE(s.rowid_ops, 1u);
+}
+
+TEST_F(CompilerTest, SharedSubplansViaLet) {
+  // $x is used twice; the DAG must share its plan (Section 3: "the
+  // emitted code contains significant sharing opportunities").
+  PlanStats once = Emitted(R"(count(doc("t.xml")//c))", Ordered());
+  PlanStats twice = Emitted(
+      R"(let $x := doc("t.xml")//c return (count($x), count($x)))",
+      Ordered());
+  // Far less than double: the path is compiled and referenced once.
+  EXPECT_LT(twice.total_ops, 2 * once.total_ops);
+  EXPECT_EQ(twice.step_ops, once.step_ops);
+}
+
+TEST_F(CompilerTest, CompileErrors) {
+  EXPECT_FALSE(session_.Execute("$undefined").ok());
+  EXPECT_FALSE(session_.Execute("nosuchfunction(1)").ok());
+  EXPECT_FALSE(session_.Execute("fn:position()").ok());
+  EXPECT_FALSE(session_.Execute("count(1, 2)").ok());
+  EXPECT_FALSE(session_.Execute(R"(doc($dynamic))").ok());
+  // order by across multiple for clauses is a documented limitation.
+  Result<QueryResult> r = session_.Execute(
+      "for $a in (1,2) for $b in (3,4) order by $b return $a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(CompilerTest, ProvenanceLabelsAttached) {
+  Result<QueryPlans> p =
+      session_.Plan(R"(count(doc("t.xml")//c))", Ordered());
+  ASSERT_TRUE(p.ok());
+  bool saw_count = false;
+  bool saw_path = false;
+  for (OpId id : p->dag->ReachableFrom(p->initial)) {
+    const std::string& prov = p->dag->op(id).prov;
+    if (prov == "fn:count") saw_count = true;
+    if (prov.find("child::c") != std::string::npos) saw_path = true;
+  }
+  EXPECT_TRUE(saw_count);
+  EXPECT_TRUE(saw_path);
+}
+
+TEST_F(CompilerTest, QuantifierBindFollowsMode) {
+  const std::string q = "some $x in (1,2) satisfies $x > 1";
+  PlanStats ordered = Emitted(q, Ordered());
+  PlanStats unordered = Emitted(q, Unordered());
+  EXPECT_GT(ordered.rownum_ops, unordered.rownum_ops);
+}
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,418 @@
+// Operator-level tests for the columnar engine: every algebra operator
+// evaluated on small literal tables, including the % / # primitives, the
+// grouped aggregates (with the EBV and order-sensitive string-join
+// cases), joins, set operations, and node constructors.
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+#include "engine/eval.h"
+#include "xml/xml_parser.h"
+
+namespace exrquy {
+namespace {
+
+using col::item;
+using col::iter;
+using col::pos;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : store_(&strings_) {
+    ctx_.store = &store_;
+    ctx_.strings = &strings_;
+  }
+
+  // Builds a Lit with columns (iter, pos, item) from integer triples.
+  OpId Triples(std::vector<std::array<int64_t, 3>> rows) {
+    LitTable t;
+    t.cols = {iter(), pos(), item()};
+    for (const auto& r : rows) {
+      t.rows.push_back(
+          {Value::Int(r[0]), Value::Int(r[1]), Value::Int(r[2])});
+    }
+    return dag_.Lit(std::move(t));
+  }
+
+  TablePtr Eval(OpId root) {
+    Evaluator ev(dag_, &ctx_);
+    Result<TablePtr> r = ev.Eval(root);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  Status EvalError(OpId root) {
+    Evaluator ev(dag_, &ctx_);
+    Result<TablePtr> r = ev.Eval(root);
+    EXPECT_FALSE(r.ok());
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+  // Column values as int64 (CHECKs kind).
+  std::vector<int64_t> Ints(const Table& t, ColId c) {
+    std::vector<int64_t> out;
+    for (size_t i = 0; i < t.rows(); ++i) {
+      EXPECT_EQ(t.at(c, i).kind, ValueKind::kInt);
+      out.push_back(t.at(c, i).i);
+    }
+    return out;
+  }
+
+  StrPool strings_;
+  NodeStore store_;
+  Dag dag_;
+  EvalContext ctx_;
+};
+
+TEST_F(EngineTest, LitAndProject) {
+  OpId l = Triples({{1, 1, 10}, {1, 2, 20}});
+  ColId renamed = ColSym("val");
+  TablePtr t = Eval(dag_.Project(l, {{renamed, item()}, {iter(), iter()}}));
+  ASSERT_EQ(t->rows(), 2u);
+  EXPECT_EQ(Ints(*t, renamed), (std::vector<int64_t>{10, 20}));
+}
+
+TEST_F(EngineTest, SelectKeepsTrueRows) {
+  OpId l = Triples({{1, 1, 5}, {1, 2, 15}, {1, 3, 25}});
+  ColId k = ColSym("k10");
+  OpId withk = dag_.AttachConst(l, k, Value::Int(10));
+  ColId b = ColSym("flag");
+  OpId f = dag_.Fun(withk, FunKind::kGt, b, {item(), k});
+  TablePtr t = Eval(dag_.Select(f, b));
+  EXPECT_EQ(Ints(*t, item()), (std::vector<int64_t>{15, 25}));
+}
+
+TEST_F(EngineTest, SelectOnNonBoolErrors) {
+  OpId l = Triples({{1, 1, 5}});
+  Status st = EvalError(dag_.Select(l, item()));
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST_F(EngineTest, EquiJoinMatchesKeys) {
+  OpId l = Triples({{1, 1, 10}, {2, 1, 20}, {3, 1, 30}});
+  ColId i2 = ColSym("iterX");
+  ColId v2 = ColSym("itemX");
+  LitTable rt;
+  rt.cols = {i2, v2};
+  rt.rows = {{Value::Int(1), Value::Int(100)},
+             {Value::Int(3), Value::Int(300)},
+             {Value::Int(3), Value::Int(301)}};
+  OpId r = dag_.Lit(std::move(rt));
+  TablePtr t = Eval(dag_.EquiJoin(l, r, iter(), i2));
+  ASSERT_EQ(t->rows(), 3u);  // iter 1 once, iter 3 twice
+  std::vector<int64_t> iters = Ints(*t, iter());
+  std::sort(iters.begin(), iters.end());
+  EXPECT_EQ(iters, (std::vector<int64_t>{1, 3, 3}));
+}
+
+TEST_F(EngineTest, CrossMultiplies) {
+  OpId l = Triples({{1, 1, 10}, {2, 1, 20}});
+  ColId c = ColSym("cc");
+  LitTable rt;
+  rt.cols = {c};
+  rt.rows = {{Value::Int(7)}, {Value::Int(8)}};
+  TablePtr t = Eval(dag_.Cross(l, dag_.Lit(std::move(rt))));
+  EXPECT_EQ(t->rows(), 4u);
+}
+
+TEST_F(EngineTest, UnionAlignsByName) {
+  OpId a = Triples({{1, 1, 10}});
+  // Same columns in a different declaration order.
+  LitTable bt;
+  bt.cols = {item(), iter(), pos()};
+  bt.rows = {{Value::Int(99), Value::Int(2), Value::Int(1)}};
+  OpId b = dag_.Lit(std::move(bt));
+  TablePtr t = Eval(dag_.Union(a, b));
+  ASSERT_EQ(t->rows(), 2u);
+  EXPECT_EQ(Ints(*t, item()), (std::vector<int64_t>{10, 99}));
+  EXPECT_EQ(Ints(*t, iter()), (std::vector<int64_t>{1, 2}));
+}
+
+TEST_F(EngineTest, DifferenceAntiJoin) {
+  OpId l = Triples({{1, 1, 0}, {2, 1, 0}, {3, 1, 0}});
+  LitTable rt;
+  rt.cols = {iter()};
+  rt.rows = {{Value::Int(2)}};
+  OpId r = dag_.Lit(std::move(rt));
+  TablePtr t = Eval(dag_.Difference(l, r, {iter()}));
+  EXPECT_EQ(Ints(*t, iter()), (std::vector<int64_t>{1, 3}));
+}
+
+TEST_F(EngineTest, SemiJoinKeepsMatches) {
+  OpId l = Triples({{1, 1, 0}, {2, 1, 0}, {3, 1, 0}});
+  LitTable rt;
+  rt.cols = {iter()};
+  rt.rows = {{Value::Int(2)}, {Value::Int(2)}, {Value::Int(3)}};
+  OpId r = dag_.Lit(std::move(rt));
+  TablePtr t = Eval(dag_.SemiJoin(l, r, {iter()}));
+  EXPECT_EQ(Ints(*t, iter()), (std::vector<int64_t>{2, 3}));
+}
+
+TEST_F(EngineTest, DistinctStable) {
+  OpId l = Triples({{1, 1, 5}, {1, 1, 5}, {1, 2, 5}, {1, 1, 5}});
+  TablePtr t = Eval(dag_.Distinct(l));
+  ASSERT_EQ(t->rows(), 2u);
+  EXPECT_EQ(Ints(*t, pos()), (std::vector<int64_t>{1, 2}));
+}
+
+TEST_F(EngineTest, RowNumDensePerGroup) {
+  OpId l = Triples({{2, 9, 0}, {1, 5, 0}, {2, 3, 0}, {1, 1, 0}});
+  ColId rank = ColSym("rank1");
+  TablePtr t = Eval(dag_.RowNum(l, rank, {{pos(), false}}, iter()));
+  // Row order preserved; ranks dense within each iter group by pos.
+  EXPECT_EQ(Ints(*t, rank), (std::vector<int64_t>{2, 2, 1, 1}));
+}
+
+TEST_F(EngineTest, RowNumDescendingAndUngrouped) {
+  OpId l = Triples({{1, 1, 10}, {1, 2, 30}, {1, 3, 20}});
+  ColId rank = ColSym("rank2");
+  TablePtr t = Eval(dag_.RowNum(l, rank, {{item(), true}}, kNoCol));
+  EXPECT_EQ(Ints(*t, rank), (std::vector<int64_t>{3, 1, 2}));
+}
+
+TEST_F(EngineTest, RowNumMultiKeyTieBreak) {
+  OpId l = Triples({{1, 2, 5}, {1, 1, 5}, {1, 1, 4}});
+  ColId rank = ColSym("rank3");
+  TablePtr t =
+      Eval(dag_.RowNum(l, rank, {{item(), false}, {pos(), false}}, kNoCol));
+  EXPECT_EQ(Ints(*t, rank), (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST_F(EngineTest, RowIdSequential) {
+  OpId l = Triples({{1, 1, 0}, {1, 2, 0}, {1, 3, 0}});
+  ColId id = ColSym("rid");
+  TablePtr t = Eval(dag_.RowId(l, id));
+  EXPECT_EQ(Ints(*t, id), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(EngineTest, FunArithmeticAndComparisons) {
+  OpId l = Triples({{1, 1, 6}});
+  ColId k = ColSym("k4");
+  OpId withk = dag_.AttachConst(l, k, Value::Int(4));
+  ColId sum = ColSym("s");
+  TablePtr t = Eval(dag_.Fun(withk, FunKind::kAdd, sum, {item(), k}));
+  EXPECT_EQ(Ints(*t, sum), (std::vector<int64_t>{10}));
+
+  ColId le = ColSym("le1");
+  TablePtr t2 = Eval(dag_.Fun(withk, FunKind::kLe, le, {item(), k}));
+  EXPECT_FALSE(t2->at(le, 0).b);
+}
+
+TEST_F(EngineTest, FunDivisionByZeroErrors) {
+  OpId l = Triples({{1, 1, 6}});
+  ColId z = ColSym("z0");
+  OpId withz = dag_.AttachConst(l, z, Value::Int(0));
+  Status st = EvalError(dag_.Fun(withz, FunKind::kIDiv, ColSym("q"),
+                                 {item(), z}));
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST_F(EngineTest, AggrCountSumPerGroup) {
+  OpId l = Triples({{1, 1, 10}, {1, 2, 20}, {2, 1, 5}});
+  ColId cnt = ColSym("cnt1");
+  TablePtr t = Eval(dag_.Aggr(l, AggrKind::kCount, cnt, kNoCol, iter()));
+  ASSERT_EQ(t->rows(), 2u);
+  EXPECT_EQ(Ints(*t, cnt), (std::vector<int64_t>{2, 1}));
+
+  ColId s = ColSym("sum1");
+  TablePtr t2 = Eval(dag_.Aggr(l, AggrKind::kSum, s, item(), iter()));
+  EXPECT_EQ(Ints(*t2, s), (std::vector<int64_t>{30, 5}));
+}
+
+TEST_F(EngineTest, AggrMaxMinNumericCast) {
+  LitTable lt;
+  lt.cols = {iter(), item()};
+  lt.rows = {{Value::Int(1), Value::Untyped(strings_.Intern("5"))},
+             {Value::Int(1), Value::Untyped(strings_.Intern("40"))}};
+  OpId l = dag_.Lit(std::move(lt));
+  ColId mx = ColSym("mx");
+  TablePtr t = Eval(dag_.Aggr(l, AggrKind::kMax, mx, item(), iter()));
+  ASSERT_EQ(t->rows(), 1u);
+  // Untyped numerics compare numerically: 40 > 5 (not "5" > "40").
+  EXPECT_EQ(t->at(mx, 0).kind, ValueKind::kDouble);
+  EXPECT_DOUBLE_EQ(t->at(mx, 0).d, 40.0);
+}
+
+TEST_F(EngineTest, AggrAvg) {
+  OpId l = Triples({{1, 1, 10}, {1, 2, 20}});
+  ColId avg = ColSym("avg1");
+  TablePtr t = Eval(dag_.Aggr(l, AggrKind::kAvg, avg, item(), iter()));
+  EXPECT_DOUBLE_EQ(t->at(avg, 0).d, 15.0);
+}
+
+TEST_F(EngineTest, AggrEbvSingleAndNodes) {
+  LitTable lt;
+  lt.cols = {iter(), item()};
+  lt.rows = {{Value::Int(1), Value::Int(0)},
+             {Value::Int(2), Value::Int(7)},
+             {Value::Int(3), Value::Node(0)},
+             {Value::Int(3), Value::Node(1)}};
+  OpId l = dag_.Lit(std::move(lt));
+  ColId b = ColSym("ebv1");
+  TablePtr t = Eval(dag_.Aggr(l, AggrKind::kEbv, b, item(), iter()));
+  ASSERT_EQ(t->rows(), 3u);
+  EXPECT_FALSE(t->at(b, 0).b);
+  EXPECT_TRUE(t->at(b, 1).b);
+  EXPECT_TRUE(t->at(b, 2).b);
+}
+
+TEST_F(EngineTest, AggrEbvMultiAtomicErrors) {
+  OpId l = Triples({{1, 1, 1}, {1, 2, 2}});
+  Status st = EvalError(
+      dag_.Aggr(l, AggrKind::kEbv, ColSym("ebv2"), item(), iter()));
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST_F(EngineTest, AggrStrJoinOrderedByPos) {
+  LitTable lt;
+  lt.cols = {iter(), pos(), item()};
+  lt.rows = {{Value::Int(1), Value::Int(2), Value::Str(strings_.Intern("b"))},
+             {Value::Int(1), Value::Int(1), Value::Str(strings_.Intern("a"))},
+             {Value::Int(1), Value::Int(3), Value::Str(strings_.Intern("c"))}};
+  OpId l = dag_.Lit(std::move(lt));
+  ColId j = ColSym("join1");
+  TablePtr t = Eval(dag_.AggrStrJoin(l, j, item(), iter(), pos(),
+                                     strings_.Intern(" ")));
+  EXPECT_EQ(strings_.Get(t->at(j, 0).str), "a b c");
+}
+
+TEST_F(EngineTest, AggrStrJoinCustomSeparator) {
+  LitTable lt;
+  lt.cols = {iter(), pos(), item()};
+  lt.rows = {{Value::Int(1), Value::Int(1), Value::Str(strings_.Intern("x"))},
+             {Value::Int(1), Value::Int(2), Value::Str(strings_.Intern("y"))}};
+  OpId l = dag_.Lit(std::move(lt));
+  ColId j = ColSym("join2");
+  TablePtr t = Eval(dag_.AggrStrJoin(l, j, item(), iter(), pos(),
+                                     strings_.Intern(", ")));
+  EXPECT_EQ(strings_.Get(t->at(j, 0).str), "x, y");
+}
+
+TEST_F(EngineTest, RangeExpansion) {
+  LitTable lt;
+  ColId lo = ColSym("lo");
+  ColId hi = ColSym("hi");
+  lt.cols = {iter(), lo, hi};
+  lt.rows = {{Value::Int(1), Value::Int(2), Value::Int(4)},
+             {Value::Int(2), Value::Int(5), Value::Int(3)}};  // empty
+  OpId r = dag_.Range(dag_.Lit(std::move(lt)), lo, hi);
+  TablePtr t = Eval(r);
+  ASSERT_EQ(t->rows(), 3u);
+  EXPECT_EQ(Ints(*t, item()), (std::vector<int64_t>{2, 3, 4}));
+  EXPECT_EQ(Ints(*t, iter()), (std::vector<int64_t>{1, 1, 1}));
+}
+
+TEST_F(EngineTest, StepOverDocument) {
+  Result<NodeIdx> doc = ParseXml(&store_, "<a><b/><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  LitTable ctx;
+  ctx.cols = {iter(), item()};
+  ctx.rows = {{Value::Int(1), Value::Node(*doc + 1)}};
+  OpId l = dag_.Lit(std::move(ctx));
+  OpId st = dag_.Step(l, Axis::kChild,
+                      NodeTest::Name(strings_.Intern("b")));
+  TablePtr t = Eval(st);
+  EXPECT_EQ(t->rows(), 2u);
+}
+
+TEST_F(EngineTest, StepOnAtomicErrors) {
+  LitTable ctx;
+  ctx.cols = {iter(), item()};
+  ctx.rows = {{Value::Int(1), Value::Int(42)}};
+  OpId st = dag_.Step(dag_.Lit(std::move(ctx)), Axis::kChild,
+                      NodeTest::AnyKind());
+  EXPECT_EQ(EvalError(st).code(), StatusCode::kTypeError);
+}
+
+TEST_F(EngineTest, DocResolvesRegisteredDocuments) {
+  Result<NodeIdx> doc = ParseXml(&store_, "<a/>");
+  ASSERT_TRUE(doc.ok());
+  StrId name = strings_.Intern("d.xml");
+  ctx_.documents[name] = *doc;
+  TablePtr t = Eval(dag_.Doc(name));
+  ASSERT_EQ(t->rows(), 1u);
+  EXPECT_EQ(t->at(item(), 0).node, *doc);
+  EXPECT_EQ(EvalError(dag_.Doc(strings_.Intern("missing"))).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, ElemBuildsPerLoopIteration) {
+  // Loop {1, 2}; content only for iter 1: element 2 must still exist.
+  LitTable loop;
+  loop.cols = {iter()};
+  loop.rows = {{Value::Int(1)}, {Value::Int(2)}};
+  OpId lp = dag_.Lit(std::move(loop));
+  LitTable ct;
+  ct.cols = {iter(), pos(), item()};
+  ct.rows = {{Value::Int(1), Value::Int(2), Value::Int(20)},
+             {Value::Int(1), Value::Int(1), Value::Int(10)}};
+  OpId content = dag_.Lit(std::move(ct));
+  OpId el = dag_.Elem(strings_.Intern("e"), content, lp);
+  TablePtr t = Eval(el);
+  ASSERT_EQ(t->rows(), 2u);
+  // Content sorted by pos; adjacent atomics joined with a space.
+  EXPECT_EQ(store_.StringValue(t->at(item(), 0).node), "10 20");
+  EXPECT_EQ(store_.StringValue(t->at(item(), 1).node), "");
+}
+
+TEST_F(EngineTest, ElemAttributeItemsBecomeAttributes) {
+  NodeIdx attr =
+      store_.MakeAttribute(strings_.Intern("k"), strings_.Intern("v"));
+  LitTable loop;
+  loop.cols = {iter()};
+  loop.rows = {{Value::Int(1)}};
+  OpId lp = dag_.Lit(std::move(loop));
+  LitTable ct;
+  ct.cols = {iter(), pos(), item()};
+  ct.rows = {{Value::Int(1), Value::Int(1), Value::Node(attr)},
+             {Value::Int(1), Value::Int(2), Value::Int(3)}};
+  OpId el = dag_.Elem(strings_.Intern("e"), dag_.Lit(std::move(ct)), lp);
+  TablePtr t = Eval(el);
+  NodeIdx e = t->at(item(), 0).node;
+  EXPECT_EQ(store_.kind(e + 1), NodeKind::kAttribute);
+  EXPECT_EQ(store_.name_str(e + 1), "k");
+  EXPECT_EQ(store_.StringValue(e), "3");
+}
+
+TEST_F(EngineTest, AttrJoinsValuesInPosOrder) {
+  LitTable loop;
+  loop.cols = {iter()};
+  loop.rows = {{Value::Int(1)}};
+  OpId lp = dag_.Lit(std::move(loop));
+  LitTable vt;
+  vt.cols = {iter(), pos(), item()};
+  vt.rows = {{Value::Int(1), Value::Int(2), Value::Int(2)},
+             {Value::Int(1), Value::Int(1), Value::Int(1)}};
+  OpId a = dag_.Attr(strings_.Intern("n"), dag_.Lit(std::move(vt)), lp);
+  TablePtr t = Eval(a);
+  EXPECT_EQ(store_.value_str(t->at(item(), 0).node), "1 2");
+}
+
+TEST_F(EngineTest, TextSkipsEmptyIterations) {
+  LitTable loop;
+  loop.cols = {iter()};
+  loop.rows = {{Value::Int(1)}, {Value::Int(2)}};
+  OpId lp = dag_.Lit(std::move(loop));
+  LitTable ct;
+  ct.cols = {iter(), pos(), item()};
+  ct.rows = {{Value::Int(2), Value::Int(1), Value::Int(9)}};
+  OpId tx = dag_.Text(dag_.Lit(std::move(ct)), lp);
+  TablePtr t = Eval(tx);
+  ASSERT_EQ(t->rows(), 1u);
+  EXPECT_EQ(Ints(*t, iter()), (std::vector<int64_t>{2}));
+}
+
+TEST_F(EngineTest, SharedSubplanEvaluatedOnce) {
+  OpId l = Triples({{1, 1, 1}});
+  ColId r1 = ColSym("sh1");
+  OpId rid = dag_.RowId(l, r1);
+  OpId u = dag_.Union(rid, rid);
+  Profile profile;
+  ctx_.profile = &profile;
+  TablePtr t = Eval(u);
+  EXPECT_EQ(t->rows(), 2u);
+  EXPECT_EQ(profile.by_kind().at("RowId").ops, 1u);  // shared, not twice
+  ctx_.profile = nullptr;
+}
+
+}  // namespace
+}  // namespace exrquy

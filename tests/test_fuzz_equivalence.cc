@@ -1,0 +1,180 @@
+// Grammar-based fuzzing: randomly generated queries over randomly
+// generated documents, executed in the baseline and the fully enabled
+// configuration. Invariants:
+//
+//   * both configurations succeed or both fail (with the same status
+//     code class) — rewriting must not introduce or mask errors;
+//   * ordered mode results are identical;
+//   * unordered mode results are multiset-equal.
+//
+// The generator deliberately produces queries whose sub-expressions can
+// be empty, plural, or type-heterogeneous, to push the EBV / aggregation
+// / comparison paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+
+namespace exrquy {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 0x9e3779b97f4a7c15ull + 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  int Below(int n) { return static_cast<int>(Next() % n); }
+
+ private:
+  uint64_t state_;
+};
+
+std::string RandomDoc(Rng* rng) {
+  std::string xml = "<top>";
+  int groups = 2 + rng->Below(3);
+  for (int g = 0; g < groups; ++g) {
+    xml += "<g k=\"" + std::to_string(rng->Below(9)) + "\">";
+    int leaves = rng->Below(4);
+    for (int l = 0; l < leaves; ++l) {
+      int v = rng->Below(30);
+      xml += (rng->Below(2) != 0)
+                 ? "<n>" + std::to_string(v) + "</n>"
+                 : "<m v=\"" + std::to_string(v) + "\"/>";
+    }
+    xml += "</g>";
+  }
+  xml += "</top>";
+  return xml;
+}
+
+// A node-sequence expression (all items nodes).
+std::string NodeExpr(Rng* rng, int depth, const std::string& var);
+// A numeric/atomic expression (single item or empty).
+std::string AtomicExpr(Rng* rng, int depth, const std::string& var);
+// A boolean expression.
+std::string BoolExpr(Rng* rng, int depth, const std::string& var);
+
+std::string NodeExpr(Rng* rng, int depth, const std::string& var) {
+  if (depth <= 0) return var.empty() ? R"(doc("f.xml")/top/g)" : var;
+  switch (rng->Below(6)) {
+    case 0:
+      return NodeExpr(rng, depth - 1, var) + "/n";
+    case 1:
+      return NodeExpr(rng, depth - 1, var) + "//m";
+    case 2:
+      return "(" + NodeExpr(rng, depth - 1, var) + " | " +
+             NodeExpr(rng, depth - 1, var) + ")";
+    case 3:
+      return NodeExpr(rng, depth - 1, var) + "[" +
+             std::to_string(1 + rng->Below(3)) + "]";
+    case 4:
+      return NodeExpr(rng, depth - 1, var) + "[" +
+             BoolExpr(rng, 0, ".") + "]";
+    default:
+      return R"(doc("f.xml")//g)";
+  }
+}
+
+std::string AtomicExpr(Rng* rng, int depth, const std::string& var) {
+  if (depth <= 0) return std::to_string(rng->Below(20));
+  switch (rng->Below(5)) {
+    case 0:
+      return "count(" + NodeExpr(rng, depth - 1, var) + ")";
+    case 1:
+      return "sum(" + NodeExpr(rng, depth - 1, var) + "/@v)";
+    case 2:
+      return "(" + AtomicExpr(rng, depth - 1, var) + " + " +
+             AtomicExpr(rng, depth - 1, var) + ")";
+    case 3:
+      return "(" + AtomicExpr(rng, depth - 1, var) + " * " +
+             std::to_string(1 + rng->Below(4)) + ")";
+    default:
+      return std::to_string(rng->Below(20));
+  }
+}
+
+std::string BoolExpr(Rng* rng, int depth, const std::string& var) {
+  std::string ctx = var.empty() ? R"(doc("f.xml")//g)" : var;
+  switch (rng->Below(5)) {
+    case 0:
+      return AtomicExpr(rng, depth, var) + " > " + AtomicExpr(rng, depth, var);
+    case 1:
+      return "exists(" + NodeExpr(rng, depth, var) + ")";
+    case 2:
+      return ctx + "/@k = " + std::to_string(rng->Below(9));
+    case 3:
+      return "some $s in " + ctx + " satisfies $s/@k > " +
+             std::to_string(rng->Below(9));
+    default:
+      return "not(" + BoolExpr(rng, depth > 0 ? depth - 1 : 0, var) + ")";
+  }
+}
+
+std::string RandomQuery(Rng* rng) {
+  switch (rng->Below(5)) {
+    case 0:
+      return "for $x in " + NodeExpr(rng, 2, "") + " return count($x//n)";
+    case 1:
+      return "for $x in " + NodeExpr(rng, 2, "") + " where " +
+             BoolExpr(rng, 1, "$x") + " return <r>{ $x/@k }</r>";
+    case 2:
+      return "for $x in " + NodeExpr(rng, 1, "") +
+             " order by number($x/@k), count($x/n) return name($x)";
+    case 3:
+      return AtomicExpr(rng, 3, "");
+    default:
+      return "(" + BoolExpr(rng, 2, "") + ", " + AtomicExpr(rng, 2, "") +
+             ")";
+  }
+}
+
+class FuzzEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEquivalenceTest, ConfigurationsAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  Session session;
+  ASSERT_TRUE(session.LoadDocument("f.xml", RandomDoc(&rng)).ok());
+
+  QueryOptions baseline;
+  baseline.enable_order_indifference = false;
+  QueryOptions exploit_ordered;
+  QueryOptions exploit_unordered;
+  exploit_unordered.default_ordering = OrderingMode::kUnordered;
+
+  int executed = 0;
+  for (int i = 0; i < 40; ++i) {
+    std::string query = RandomQuery(&rng);
+    Result<QueryResult> a = session.Execute(query, baseline);
+    Result<QueryResult> b = session.Execute(query, exploit_ordered);
+    Result<QueryResult> c = session.Execute(query, exploit_unordered);
+
+    ASSERT_EQ(a.ok(), b.ok()) << query << "\nbaseline: "
+                              << a.status().ToString()
+                              << "\nexploit:  " << b.status().ToString();
+    ASSERT_EQ(a.ok(), c.ok()) << query << "\nbaseline: "
+                              << a.status().ToString()
+                              << "\nunordered: " << c.status().ToString();
+    if (!a.ok()) continue;  // both failed identically: fine
+    ++executed;
+    EXPECT_EQ(a->items, b->items) << query;
+    std::vector<std::string> sa = a->items;
+    std::vector<std::string> sc = c->items;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sc.begin(), sc.end());
+    EXPECT_EQ(sa, sc) << query;
+  }
+  // The generator must produce mostly executable queries.
+  EXPECT_GT(executed, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,139 @@
+// Unit tests for the XQuery lexer: token classification, QNames vs '::',
+// numbers, string literals with escapes and entities, nested comments,
+// and raw-offset bookkeeping for constructor parsing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xquery/lexer.h"
+
+namespace exrquy {
+namespace {
+
+std::vector<Token> LexAll(std::string_view text) {
+  Lexer lexer(text);
+  std::vector<Token> out;
+  for (;;) {
+    Status st = lexer.Advance();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    if (!st.ok() || lexer.Cur().kind == TokKind::kEof) break;
+    out.push_back(lexer.Cur());
+  }
+  return out;
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = LexAll("for $x in (1, 2) return $x");
+  ASSERT_EQ(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokKind::kName);
+  EXPECT_EQ(toks[0].text, "for");
+  EXPECT_EQ(toks[1].kind, TokKind::kVar);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[3].kind, TokKind::kLParen);
+  EXPECT_EQ(toks[4].kind, TokKind::kInt);
+  EXPECT_EQ(toks[4].int_value, 1);
+}
+
+TEST(LexerTest, QNameKeepsPrefix) {
+  auto toks = LexAll("fn:count local:f");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "fn:count");
+  EXPECT_EQ(toks[1].text, "local:f");
+}
+
+TEST(LexerTest, AxisColonColonNotEatenByQName) {
+  auto toks = LexAll("child::item");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "child");
+  EXPECT_EQ(toks[1].kind, TokKind::kColonColon);
+  EXPECT_EQ(toks[2].text, "item");
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = LexAll("42 3.14 1e3 2.5E-2 .5");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[1].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 3.14);
+  EXPECT_EQ(toks[2].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].double_value, 0.025);
+  EXPECT_DOUBLE_EQ(toks[4].double_value, 0.5);
+}
+
+TEST(LexerTest, IntDotDotNotDouble) {
+  // '1..2' should not lex '1.' as a double ('to' ranges aside, the
+  // DotDot token must survive).
+  auto toks = LexAll("a/..");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[2].kind, TokKind::kDotDot);
+}
+
+TEST(LexerTest, Strings) {
+  auto toks = LexAll(R"("hello" 'wo''rld' "do""ble" "&lt;&amp;")");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "wo'rld");
+  EXPECT_EQ(toks[2].text, "do\"ble");
+  EXPECT_EQ(toks[3].text, "<&");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto toks = LexAll("< <= << > >= >> = != := ::");
+  std::vector<TokKind> kinds;
+  for (const Token& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokKind>{TokKind::kLt, TokKind::kLe, TokKind::kLtLt,
+                                  TokKind::kGt, TokKind::kGe, TokKind::kGtGt,
+                                  TokKind::kEq, TokKind::kNe, TokKind::kAssign,
+                                  TokKind::kColonColon}));
+}
+
+TEST(LexerTest, SlashesAndDots) {
+  auto toks = LexAll("/ // . ..");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokKind::kSlash);
+  EXPECT_EQ(toks[1].kind, TokKind::kSlashSlash);
+  EXPECT_EQ(toks[2].kind, TokKind::kDot);
+  EXPECT_EQ(toks[3].kind, TokKind::kDotDot);
+}
+
+TEST(LexerTest, NestedComments) {
+  auto toks = LexAll("1 (: outer (: inner :) still :) 2");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].int_value, 1);
+  EXPECT_EQ(toks[1].int_value, 2);
+}
+
+TEST(LexerTest, UnterminatedCommentFails) {
+  Lexer lexer("1 (: oops");
+  EXPECT_TRUE(lexer.Advance().ok());
+  EXPECT_FALSE(lexer.Advance().ok());
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("\"abc");
+  EXPECT_FALSE(lexer.Advance().ok());
+}
+
+TEST(LexerTest, OffsetsAndReset) {
+  Lexer lexer("ab  cd");
+  ASSERT_TRUE(lexer.Advance().ok());
+  EXPECT_EQ(lexer.Cur().offset, 0u);
+  EXPECT_EQ(lexer.pos(), 2u);
+  ASSERT_TRUE(lexer.Advance().ok());
+  EXPECT_EQ(lexer.Cur().offset, 4u);
+  lexer.ResetTo(0);
+  ASSERT_TRUE(lexer.Advance().ok());
+  EXPECT_EQ(lexer.Cur().text, "ab");
+}
+
+TEST(LexerTest, DecodeEntitiesHelper) {
+  EXPECT_EQ(DecodeEntities("a&lt;b&gt;c&amp;&quot;&apos;"), "a<b>c&\"'");
+  EXPECT_EQ(DecodeEntities("&#65;&#x42;"), "AB");
+  EXPECT_EQ(DecodeEntities("no entities"), "no entities");
+  EXPECT_EQ(DecodeEntities("&unknown;"), "&unknown;");
+}
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,145 @@
+// Unit tests for the XQuery -> Core normalizer (Section 2.2): insertion
+// of fn:unordered() (rules FN:COUNT / QUANT / general comparisons),
+// every -> not(some(not)) rewriting, and user-function inlining with
+// capture avoidance.
+#include <gtest/gtest.h>
+
+#include "xquery/normalize.h"
+#include "xquery/parser.h"
+
+namespace exrquy {
+namespace {
+
+Query MustNormalize(const std::string& text, bool insert_unordered = true) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  NormalizeOptions options;
+  options.insert_unordered = insert_unordered;
+  Status st = Normalize(&q.value(), options);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return std::move(q).value();
+}
+
+std::string Shape(const std::string& text, bool insert_unordered = true) {
+  return ExprToString(*MustNormalize(text, insert_unordered).body);
+}
+
+TEST(NormalizeTest, RuleFnCountInsertsUnordered) {
+  EXPECT_EQ(Shape("count($x)"), "count(unordered($x))");
+  EXPECT_EQ(Shape("sum($x)"), "sum(unordered($x))");
+  EXPECT_EQ(Shape("empty($x)"), "empty(unordered($x))");
+  EXPECT_EQ(Shape("exists($x)"), "exists(unordered($x))");
+  EXPECT_EQ(Shape("boolean($x)"), "boolean(unordered($x))");
+  EXPECT_EQ(Shape("distinct-values($x)"),
+            "distinct-values(unordered($x))");
+}
+
+TEST(NormalizeTest, NoDoubleWrap) {
+  EXPECT_EQ(Shape("count(unordered($x))"), "count(unordered($x))");
+}
+
+TEST(NormalizeTest, DisabledLeavesAstAlone) {
+  EXPECT_EQ(Shape("count($x)", /*insert_unordered=*/false), "count($x)");
+}
+
+TEST(NormalizeTest, RuleQuantWrapsDomain) {
+  // Both the quantifier domain (Rule QUANT) and the general comparison's
+  // operands are wrapped.
+  EXPECT_EQ(Shape("some $v in $s satisfies $v > 1"),
+            "some $v in unordered($s) satisfies "
+            "(unordered($v) > unordered(1))");
+}
+
+TEST(NormalizeTest, EveryBecomesNotSomeNot) {
+  EXPECT_EQ(Shape("every $v in $s satisfies $v > 1"),
+            "not(some $v in unordered($s) satisfies "
+            "not((unordered($v) > unordered(1))))");
+}
+
+TEST(NormalizeTest, GeneralComparisonWrapsBothSides) {
+  EXPECT_EQ(Shape("$a = $b"), "(unordered($a) = unordered($b))");
+}
+
+TEST(NormalizeTest, ValueComparisonNotWrapped) {
+  EXPECT_EQ(Shape("$a eq $b"), "($a eq $b)");
+}
+
+TEST(NormalizeTest, OrderIndifferentCallsInsideFlwor) {
+  EXPECT_EQ(Shape("for $x in $s return count($x)"),
+            "for $x in $s return count(unordered($x))");
+}
+
+TEST(NormalizeTest, FunctionInliningBindsArgsViaLet) {
+  Query q = MustNormalize(
+      "declare function local:f($v) { $v + 1 }; local:f(41)");
+  std::string s = ExprToString(*q.body);
+  // let $v<fresh> := 41 return ($v<fresh> + 1)
+  EXPECT_NE(s.find("let $v$"), std::string::npos) << s;
+  EXPECT_NE(s.find(":= 41"), std::string::npos) << s;
+  EXPECT_NE(s.find("+ 1)"), std::string::npos) << s;
+}
+
+TEST(NormalizeTest, InliningAvoidsCapture) {
+  // The caller's $v must not be captured by the parameter $v.
+  Query q = MustNormalize(
+      "declare function local:f($v) { $v * 2 }; "
+      "for $v in (1, 2) return local:f($v + 10)");
+  std::string s = ExprToString(*q.body);
+  // The argument references the caller's $v; the body the fresh one.
+  EXPECT_NE(s.find(":= ($v + 10)"), std::string::npos) << s;
+  EXPECT_NE(s.find("($v$"), std::string::npos) << s;
+}
+
+TEST(NormalizeTest, NestedFunctionCallsInline) {
+  Query q = MustNormalize(
+      "declare function local:f($a) { $a + 1 }; "
+      "declare function local:g($b) { local:f($b) * 2 }; "
+      "local:g(10)");
+  std::string s = ExprToString(*q.body);
+  EXPECT_EQ(s.find("local:"), std::string::npos) << s;
+}
+
+TEST(NormalizeTest, RecursionRejected) {
+  Result<Query> q = ParseQuery(
+      "declare function local:f($a) { local:f($a) }; local:f(1)");
+  ASSERT_TRUE(q.ok());
+  Status st = Normalize(&q.value(), {});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+}
+
+TEST(NormalizeTest, ArityMismatchRejected) {
+  Result<Query> q =
+      ParseQuery("declare function local:f($a) { $a }; local:f(1, 2)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(Normalize(&q.value(), {}).ok());
+}
+
+TEST(NormalizeTest, FreeVariableInBodyRejected) {
+  Result<Query> q =
+      ParseQuery("declare function local:f($a) { $a + $outer }; local:f(1)");
+  ASSERT_TRUE(q.ok());
+  Status st = Normalize(&q.value(), {});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("free variable"), std::string::npos);
+}
+
+TEST(NormalizeTest, FunctionBodyNormalizedToo) {
+  Query q = MustNormalize(
+      "declare function local:f($a) { count($a) }; local:f((1,2))");
+  std::string s = ExprToString(*q.body);
+  EXPECT_NE(s.find("count(unordered("), std::string::npos) << s;
+}
+
+TEST(NormalizeTest, ShadowingBinderStopsRename) {
+  Query q = MustNormalize(
+      "declare function local:f($v) { for $v in (1,2) return $v }; "
+      "local:f(9)");
+  std::string s = ExprToString(*q.body);
+  // The inner for re-binds $v; its body must reference the *inner* $v,
+  // not the renamed parameter.
+  EXPECT_NE(s.find("for $v in (1, 2) return $v"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace exrquy

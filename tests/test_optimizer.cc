@@ -1,0 +1,305 @@
+// Unit tests for the optimizer: column dependency analysis (Section 4.1),
+// pruning and projection composition, the constant/arbitrary-column
+// weakening of % (Section 7), distinct elimination over disjoint steps
+// (Section 4.2), and step merging — plus end-to-end equivalence checks
+// (optimized and unoptimized plans must produce the same tables modulo
+// admissible reordering).
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+#include "algebra/stats.h"
+#include "opt/icols.h"
+#include "opt/pipeline.h"
+#include "opt/properties.h"
+
+namespace exrquy {
+namespace {
+
+using col::item;
+using col::iter;
+using col::pos;
+
+ColSet Seed() { return {iter(), pos(), item()}; }
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OpId Loop1() {
+    LitTable t;
+    t.cols = {iter()};
+    t.rows = {{Value::Int(1)}};
+    return dag_.Lit(std::move(t));
+  }
+
+  // (iter, pos, item) rows.
+  OpId Triples(std::vector<std::array<int64_t, 3>> rows) {
+    LitTable t;
+    t.cols = {iter(), pos(), item()};
+    for (const auto& r : rows) {
+      t.rows.push_back(
+          {Value::Int(r[0]), Value::Int(r[1]), Value::Int(r[2])});
+    }
+    return dag_.Lit(std::move(t));
+  }
+
+  OpId Opt(OpId root, RewriteOptions rewrites = {}) {
+    OptimizeOptions options;
+    options.rewrites = rewrites;
+    return Optimize(&dag_, root, options);
+  }
+
+  Dag dag_;
+};
+
+TEST_F(OptimizerTest, IColsSeedsRootAndFollowsProjections) {
+  OpId l = Triples({{1, 1, 5}});
+  ColId x = ColSym("x1");
+  OpId rn = dag_.RowNum(l, x, {{pos(), false}}, iter());
+  OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), x}, {item(), item()}});
+  auto icols = ComputeICols(dag_, proj, Seed());
+  // The projection consumes x (as pos), so the RowNum's x is required.
+  EXPECT_TRUE(icols[rn].count(x) != 0);
+  // The Lit's pos is required as the RowNum's order criterion.
+  EXPECT_TRUE(icols[l].count(pos()) != 0);
+}
+
+TEST_F(OptimizerTest, IColsIgnoresDeadColumns) {
+  OpId l = Triples({{1, 1, 5}});
+  ColId x = ColSym("x2");
+  OpId rn = dag_.RowNum(l, x, {{pos(), false}}, iter());
+  OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), pos()},
+                                {item(), item()}});
+  auto icols = ComputeICols(dag_, proj, Seed());
+  EXPECT_TRUE(icols[rn].count(x) == 0);
+}
+
+TEST_F(OptimizerTest, DeadRowNumPruned) {
+  // RowNum whose rank is projected away disappears (Figure 9's effect).
+  OpId l = Triples({{1, 1, 5}});
+  ColId x = ColSym("x3");
+  OpId rn = dag_.RowNum(l, x, {{pos(), false}}, iter());
+  OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), pos()},
+                                {item(), item()}});
+  OpId opt = Opt(proj);
+  PlanStats stats = CollectPlanStats(dag_, opt);
+  EXPECT_EQ(stats.rownum_ops, 0u);
+}
+
+TEST_F(OptimizerTest, DeadAttachedConstantPruned) {
+  // × with a one-row literal whose column is never required vanishes.
+  OpId l = Triples({{1, 1, 5}});
+  OpId attached = dag_.AttachConst(l, ColSym("x4"), Value::Int(9));
+  OpId proj = dag_.Project(attached, {{iter(), iter()}, {pos(), pos()},
+                                      {item(), item()}});
+  OpId opt = Opt(proj);
+  EXPECT_EQ(opt, l);
+}
+
+TEST_F(OptimizerTest, ProjectionComposition) {
+  OpId l = Triples({{1, 1, 5}});
+  ColId a = ColSym("a5");
+  OpId p1 = dag_.Project(l, {{a, item()}, {iter(), iter()}, {pos(), pos()}});
+  OpId p2 = dag_.Project(p1, {{iter(), iter()}, {pos(), pos()}, {item(), a}});
+  OpId opt = Opt(p2);
+  // Both projections collapse into the literal (identity overall).
+  EXPECT_EQ(opt, l);
+}
+
+TEST_F(OptimizerTest, WeakenDropsConstantCriteria) {
+  OpId l = Triples({{1, 1, 5}, {1, 1, 7}});
+  ColId c = ColSym("c6");
+  OpId withc = dag_.AttachConst(l, c, Value::Int(3));
+  ColId rank = ColSym("r6");
+  OpId rn = dag_.RowNum(withc, rank, {{c, false}, {item(), false}}, kNoCol);
+  OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), rank},
+                                {item(), item()}});
+  OpId opt = Opt(proj);
+  PlanStats stats = CollectPlanStats(dag_, opt);
+  ASSERT_EQ(stats.rownum_ops, 1u);
+  // Find the RowNum and check the constant criterion is gone.
+  for (OpId id : dag_.ReachableFrom(opt)) {
+    const Op& op = dag_.op(id);
+    if (op.kind == OpKind::kRowNum) {
+      ASSERT_EQ(op.order.size(), 1u);
+      EXPECT_EQ(op.order[0].col, item());
+    }
+  }
+}
+
+TEST_F(OptimizerTest, WeakenArbitraryOrderBecomesRowId) {
+  // %r:<b> where b comes from # degenerates to # (Section 7).
+  OpId l = Triples({{1, 1, 5}, {1, 2, 7}});
+  ColId b = ColSym("b7");
+  OpId rid = dag_.RowId(l, b);
+  ColId rank = ColSym("r7");
+  OpId rn = dag_.RowNum(rid, rank, {{b, false}}, kNoCol);
+  OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), rank},
+                                {item(), item()}});
+  OpId opt = Opt(proj);
+  PlanStats stats = CollectPlanStats(dag_, opt);
+  EXPECT_EQ(stats.rownum_ops, 0u);
+  EXPECT_GE(stats.rowid_ops, 1u);
+}
+
+TEST_F(OptimizerTest, WeakenKeepsMeaningfulPartition) {
+  // Grouped % with a non-constant partition must survive even if the
+  // criteria are arbitrary (per-group density matters).
+  OpId l = Triples({{1, 1, 5}, {2, 1, 7}});
+  ColId b = ColSym("b8");
+  OpId rid = dag_.RowId(l, b);
+  ColId rank = ColSym("r8");
+  OpId rn = dag_.RowNum(rid, rank, {{b, false}}, iter());
+  OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), rank},
+                                {item(), item()}});
+  OpId opt = Opt(proj);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).rownum_ops, 1u);
+}
+
+TEST_F(OptimizerTest, WeakenDisabledKeepsRowNum) {
+  OpId l = Triples({{1, 1, 5}});
+  ColId b = ColSym("b9");
+  OpId rid = dag_.RowId(l, b);
+  ColId rank = ColSym("r9");
+  OpId rn = dag_.RowNum(rid, rank, {{b, false}}, kNoCol);
+  OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), rank},
+                                {item(), item()}});
+  RewriteOptions rewrites;
+  rewrites.weaken_rownum = false;
+  OpId opt = Opt(proj, rewrites);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).rownum_ops, 1u);
+}
+
+TEST_F(OptimizerTest, PropertiesConstantAndArbitrary) {
+  OpId l = Loop1();
+  OpId a = dag_.AttachConst(l, pos(), Value::Int(1));
+  OpId rid = dag_.RowId(a, item());
+  PropertyTracker props(&dag_);
+  const ColProps& p = props.Get(rid);
+  EXPECT_TRUE(p.constant.count(iter()) != 0);  // single-row literal
+  EXPECT_TRUE(p.constant.count(pos()) != 0);
+  EXPECT_TRUE(p.arbitrary.count(item()) != 0);
+  EXPECT_TRUE(p.arbitrary.count(pos()) == 0);
+}
+
+TEST_F(OptimizerTest, PropertiesSurviveProjectAndJoin) {
+  OpId l = Loop1();
+  OpId a = dag_.AttachConst(l, pos(), Value::Int(1));
+  ColId b = ColSym("b10");
+  OpId rid = dag_.RowId(a, b);
+  ColId i2 = ColSym("i10");
+  OpId right = dag_.Project(Loop1(), {{i2, iter()}});
+  OpId j = dag_.EquiJoin(rid, right, iter(), i2);
+  PropertyTracker props(&dag_);
+  const ColProps& p = props.Get(j);
+  EXPECT_TRUE(p.constant.count(pos()) != 0);
+  EXPECT_TRUE(p.arbitrary.count(b) != 0);
+}
+
+TEST_F(OptimizerTest, StepMergeDosChild) {
+  OpId ctx = dag_.Project(
+      dag_.AttachConst(Loop1(), item(), Value::Node(0)),
+      {{iter(), iter()}, {item(), item()}});
+  OpId dos = dag_.Step(ctx, Axis::kDescendantOrSelf, NodeTest::AnyKind());
+  StrPool strings;
+  NodeTest nt = NodeTest::Name(strings.Intern("x"));
+  OpId child = dag_.Step(dos, Axis::kChild, nt);
+  OpId proj = dag_.Project(dag_.AttachConst(child, pos(), Value::Int(1)),
+                           {{iter(), iter()}, {pos(), pos()},
+                            {item(), item()}});
+  OpId opt = Opt(proj);
+  PlanStats stats = CollectPlanStats(dag_, opt);
+  EXPECT_EQ(stats.step_ops, 1u);
+  for (OpId id : dag_.ReachableFrom(opt)) {
+    if (dag_.op(id).kind == OpKind::kStep) {
+      EXPECT_EQ(dag_.op(id).axis, Axis::kDescendant);
+      EXPECT_TRUE(dag_.op(id).test == nt);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, StepMergeDisabledByFlag) {
+  OpId ctx = dag_.Project(
+      dag_.AttachConst(Loop1(), item(), Value::Node(0)),
+      {{iter(), iter()}, {item(), item()}});
+  OpId dos = dag_.Step(ctx, Axis::kDescendantOrSelf, NodeTest::AnyKind());
+  OpId child = dag_.Step(dos, Axis::kChild, NodeTest::Wildcard());
+  OpId proj = dag_.Project(dag_.AttachConst(child, pos(), Value::Int(1)),
+                           {{iter(), iter()}, {pos(), pos()},
+                            {item(), item()}});
+  RewriteOptions rewrites;
+  rewrites.step_merging = false;
+  OpId opt = Opt(proj, rewrites);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).step_ops, 2u);
+}
+
+TEST_F(OptimizerTest, NoMergeThroughOtherAxes) {
+  OpId ctx = dag_.Project(
+      dag_.AttachConst(Loop1(), item(), Value::Node(0)),
+      {{iter(), iter()}, {item(), item()}});
+  OpId child1 = dag_.Step(ctx, Axis::kChild, NodeTest::AnyKind());
+  OpId child2 = dag_.Step(child1, Axis::kChild, NodeTest::Wildcard());
+  OpId proj = dag_.Project(dag_.AttachConst(child2, pos(), Value::Int(1)),
+                           {{iter(), iter()}, {pos(), pos()},
+                            {item(), item()}});
+  OpId opt = Opt(proj);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).step_ops, 2u);
+}
+
+TEST_F(OptimizerTest, DistinctOverDisjointStepsRemoved) {
+  StrPool strings;
+  OpId ctx = dag_.Project(
+      dag_.AttachConst(Loop1(), item(), Value::Node(0)),
+      {{iter(), iter()}, {item(), item()}});
+  OpId c = dag_.Step(ctx, Axis::kChild,
+                     NodeTest::Name(strings.Intern("c")));
+  OpId d = dag_.Step(ctx, Axis::kChild,
+                     NodeTest::Name(strings.Intern("d")));
+  OpId u = dag_.Union(c, d);
+  OpId dist = dag_.Distinct(u);
+  OpId proj = dag_.Project(dag_.AttachConst(dist, pos(), Value::Int(1)),
+                           {{iter(), iter()}, {pos(), pos()},
+                            {item(), item()}});
+  OpId opt = Opt(proj);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).distinct_ops, 0u);
+}
+
+TEST_F(OptimizerTest, DistinctKeptForSameNameSteps) {
+  StrPool strings;
+  OpId ctx = dag_.Project(
+      dag_.AttachConst(Loop1(), item(), Value::Node(0)),
+      {{iter(), iter()}, {item(), item()}});
+  NodeTest nt = NodeTest::Name(strings.Intern("c"));
+  OpId c1 = dag_.Step(ctx, Axis::kChild, nt);
+  OpId u = dag_.Union(c1, c1);  // same step twice: real duplicates
+  OpId dist = dag_.Distinct(u);
+  OpId proj = dag_.Project(dag_.AttachConst(dist, pos(), Value::Int(1)),
+                           {{iter(), iter()}, {pos(), pos()},
+                            {item(), item()}});
+  OpId opt = Opt(proj);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).distinct_ops, 1u);
+}
+
+TEST_F(OptimizerTest, DistinctKeptForNonStepInputs) {
+  OpId l = Triples({{1, 1, 5}, {1, 1, 5}});
+  OpId dist = dag_.Distinct(l);
+  OpId opt = Opt(dist);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).distinct_ops, 1u);
+}
+
+TEST_F(OptimizerTest, DisabledPipelineIsIdentity) {
+  OpId l = Triples({{1, 1, 5}});
+  OpId rn = dag_.RowNum(l, ColSym("x11"), {{pos(), false}}, kNoCol);
+  OptimizeOptions options;
+  options.enable = false;
+  EXPECT_EQ(Optimize(&dag_, rn, options), rn);
+}
+
+TEST_F(OptimizerTest, EmptyUnionBranchRemoved) {
+  OpId l = Triples({{1, 1, 5}});
+  OpId empty = dag_.Empty({iter(), pos(), item()});
+  OpId u = dag_.Union(l, empty);
+  OpId opt = Opt(u);
+  EXPECT_EQ(opt, l);
+}
+
+}  // namespace
+}  // namespace exrquy

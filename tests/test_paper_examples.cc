@@ -1,0 +1,201 @@
+// The paper's running examples as executable invariants, checked under
+// the weakened semantics: what MUST still hold when order indifference
+// is exploited (Section 2's interaction matrix, Figures 2 and 3), not
+// just what may change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "api/session.h"
+
+namespace exrquy {
+namespace {
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Figure 1's fragment, bound to $t via doc("t.xml")/a.
+    ASSERT_TRUE(
+        session_.LoadDocument("t.xml", "<a><b><c/><d/></b><c/></a>").ok());
+  }
+
+  std::vector<std::string> Items(const std::string& query,
+                                 const QueryOptions& options) {
+    Result<QueryResult> r = session_.Execute(query, options);
+    EXPECT_TRUE(r.ok()) << query << ": " << r.status().ToString();
+    return r.ok() ? r->items : std::vector<std::string>{};
+  }
+
+  static QueryOptions Unordered() {
+    QueryOptions o;
+    o.default_ordering = OrderingMode::kUnordered;
+    return o;
+  }
+
+  Session session_;
+};
+
+// Expression (1): $t//(c|d) in ordered mode yields (c1, d, c2) — the
+// document-order merge of the two steps.
+TEST_F(PaperExamplesTest, Expression1DocumentOrder) {
+  QueryOptions ordered;
+  std::vector<std::string> items =
+      Items(R"(for $t in doc("t.xml")/a return $t//(c|d))", ordered);
+  EXPECT_EQ(items,
+            (std::vector<std::string>{"<c/>", "<d/>", "<c/>"}));
+}
+
+// Expression (2): under unordered {}, any of the 3! = 6 permutations is
+// admissible; the multiset is fixed. Our engine produces the
+// concatenation order (c1, c2, d) the paper highlights as particularly
+// efficient.
+TEST_F(PaperExamplesTest, Expression2UnionAsConcatenation) {
+  Result<QueryResult> r = session_.Execute(
+      R"(unordered { for $t in doc("t.xml")/a return $t//(c|d) })",
+      QueryOptions{});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<std::string> sorted = r->items;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::string>{"<c/>", "<c/>", "<d/>"}));
+}
+
+// Expression (3): sequence order establishes document order in the new
+// fragment — ($b << $d, $e/b << $e/d) = (true, false).
+TEST_F(PaperExamplesTest, Expression3SeqEstablishesDocOrder) {
+  for (bool unordered : {false, true}) {
+    QueryOptions o;
+    if (unordered) o = Unordered();
+    std::vector<std::string> items = Items(
+        R"(let $t := doc("t.xml")/a
+           let $b := $t//b, $d := $t//d,
+               $e := <e>{ $d, $b }</e>
+           return ($b << $d, $e/b << $e/d))",
+        o);
+    // Sequence order is a 2-item boolean pair; even under mode unordered
+    // the *values* are fixed (the multiset {true,false}).
+    std::sort(items.begin(), items.end());
+    EXPECT_EQ(items, (std::vector<std::string>{"false", "true"}));
+  }
+}
+
+// Expression (4): under mode unordered the e elements may come back in
+// any order, but the pos attribute must still consistently reflect each
+// item's position in the binding sequence: the (pos -> letter) pairing
+// set is invariant.
+TEST_F(PaperExamplesTest, Expression4PositionalConsistency) {
+  std::vector<std::string> items = Items(
+      R"(for $x at $p in ("a","b","c")
+         return <e pos="{ $p }">{ $x }</e>)",
+      Unordered());
+  ASSERT_EQ(items.size(), 3u);
+  std::set<std::string> pairs(items.begin(), items.end());
+  EXPECT_EQ(pairs, (std::set<std::string>{"<e pos=\"1\">a</e>",
+                                          "<e pos=\"2\">b</e>",
+                                          "<e pos=\"3\">c</e>"}));
+}
+
+// Positional consistency must also hold when the binding sequence itself
+// comes out of an (unordered) location step and for nested iterations —
+// positions restart at 1 per iteration.
+TEST_F(PaperExamplesTest, PositionalVariableDensePerIteration) {
+  std::vector<std::string> items = Items(
+      R"(for $o in (1, 2)
+         return for $x at $p in doc("t.xml")//c
+                return $p)",
+      Unordered());
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, (std::vector<std::string>{"1", "1", "2", "2"}));
+}
+
+// Expression (5): iter -> seq remains intact under mode unordered
+// (Figure 3): ($x, $x*10) pairs stay adjacent and internally ordered —
+// (2,20,1,10) is admissible, (1,20,2,10) is not.
+TEST_F(PaperExamplesTest, Expression5PairsStayAdjacent) {
+  std::vector<std::string> items =
+      Items("for $x in (1,2) return ($x, $x * 10)", Unordered());
+  ASSERT_EQ(items.size(), 4u);
+  // Find each x; its 10x must follow immediately.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i] == "1") {
+      ASSERT_LT(i + 1, items.size());
+      EXPECT_EQ(items[i + 1], "10");
+    }
+    if (items[i] == "2") {
+      ASSERT_LT(i + 1, items.size());
+      EXPECT_EQ(items[i + 1], "20");
+    }
+  }
+}
+
+// fn:unordered() additionally releases the pairing (Section 2.1): all
+// 24 permutations are admissible — the multiset is all that's fixed.
+TEST_F(PaperExamplesTest, FnUnorderedReleasesPairs) {
+  std::vector<std::string> items = Items(
+      "unordered(for $x in (1,2) return ($x, $x * 10))", Unordered());
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, (std::vector<std::string>{"1", "10", "2", "20"}));
+}
+
+// Expressions (6)/(7): nested iteration under mode unordered — the
+// multiset of constructed elements is invariant.
+TEST_F(PaperExamplesTest, Expression6NestedIteration) {
+  std::vector<std::string> ordered_items = Items(
+      R"(for $x in (1,2) for $y in (10,20)
+         return <a>{ $x, $y }</a>)",
+      QueryOptions{});
+  EXPECT_EQ(ordered_items,
+            (std::vector<std::string>{"<a>1 10</a>", "<a>1 20</a>",
+                                      "<a>2 10</a>", "<a>2 20</a>"}));
+  std::vector<std::string> unordered_items = Items(
+      R"(for $x in (1,2) for $y in (10,20)
+         return <a>{ $x, $y }</a>)",
+      Unordered());
+  std::sort(unordered_items.begin(), unordered_items.end());
+  EXPECT_EQ(unordered_items, ordered_items);  // already sorted
+}
+
+// Section 2.2's let-unfolding counterexample: $c2 := ($t//c)[2] is fixed
+// *before* unordered {} applies; unordered { $c2 } must still be that
+// very node — unfolding the let into unordered { $t//c[2] } would
+// illegitimately introduce nondeterminism.
+TEST_F(PaperExamplesTest, LetUnfoldingCounterexample) {
+  std::vector<std::string> items = Items(
+      R"(let $t := doc("t.xml")/a
+         let $c2 := ($t//c)[2]
+         return unordered { $c2 } is ($t//c)[2])",
+      QueryOptions{});
+  EXPECT_EQ(items, (std::vector<std::string>{"true"}));
+}
+
+// Rules FN:COUNT / QUANT apply in either ordering mode: aggregates and
+// quantifiers see no order, so their results are identical across all
+// configurations.
+TEST_F(PaperExamplesTest, ModeIndependentRules) {
+  for (const char* q :
+       {R"(count(doc("t.xml")//(c|d)))",
+        R"(some $x in doc("t.xml")//c satisfies $x << doc("t.xml")//d)",
+        R"(every $x in doc("t.xml")//c satisfies empty($x/*))"}) {
+    QueryOptions baseline;
+    baseline.enable_order_indifference = false;
+    EXPECT_EQ(Items(q, baseline), Items(q, Unordered())) << q;
+  }
+}
+
+// Q6-style: the count is order indifferent, so the *plans* differ wildly
+// (Figure 6) but the value cannot.
+TEST_F(PaperExamplesTest, AggregateValueInvariantAcrossPlans) {
+  const char* q = R"(for $t in doc("t.xml")/a return count($t//(c|d)))";
+  QueryOptions baseline;
+  baseline.enable_order_indifference = false;
+  Result<QueryResult> a = session_.Execute(q, baseline);
+  Result<QueryResult> b = session_.Execute(q, Unordered());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->serialized, "3");
+  EXPECT_EQ(b->serialized, "3");
+  EXPECT_GT(a->plan_optimized.rownum_ops, b->plan_optimized.rownum_ops);
+}
+
+}  // namespace
+}  // namespace exrquy

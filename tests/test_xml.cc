@@ -1,0 +1,212 @@
+// Unit tests for the XML parser and serializer: well-formed input,
+// entities, CDATA, comments, whitespace policy, error reporting, and
+// parse/serialize round trips.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "xml/node_store.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace exrquy {
+namespace {
+
+class XmlTest : public ::testing::Test {
+ protected:
+  XmlTest() : store_(&strings_) {}
+
+  NodeIdx MustParse(std::string_view xml, XmlParseOptions opts = {}) {
+    Result<NodeIdx> r = ParseXml(&store_, xml, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : kInvalidNode;
+  }
+
+  std::string RoundTrip(std::string_view xml) {
+    return SerializeNode(store_, MustParse(xml));
+  }
+
+  StrPool strings_;
+  NodeStore store_;
+};
+
+TEST_F(XmlTest, SimpleElementRoundTrip) {
+  EXPECT_EQ(RoundTrip("<a><b/><c>text</c></a>"), "<a><b/><c>text</c></a>");
+}
+
+TEST_F(XmlTest, AttributesRoundTrip) {
+  EXPECT_EQ(RoundTrip(R"(<a id="1" name="x"><b k="v"/></a>)"),
+            R"(<a id="1" name="x"><b k="v"/></a>)");
+}
+
+TEST_F(XmlTest, SingleQuotedAttributes) {
+  EXPECT_EQ(RoundTrip("<a id='1'/>"), "<a id=\"1\"/>");
+}
+
+TEST_F(XmlTest, EntityDecoding) {
+  NodeIdx doc = MustParse("<a x=\"&lt;&amp;&gt;\">&lt;tag&gt; &amp; &#65;</a>");
+  NodeIdx a = doc + 1;
+  EXPECT_EQ(store_.value_str(a + 1), "<&>");
+  EXPECT_EQ(store_.StringValue(a), "<tag> & A");
+}
+
+TEST_F(XmlTest, EntityReEscapedOnSerialize) {
+  EXPECT_EQ(RoundTrip("<a>&lt;x&gt; &amp; y</a>"),
+            "<a>&lt;x&gt; &amp; y</a>");
+}
+
+TEST_F(XmlTest, CdataBecomesText) {
+  NodeIdx doc = MustParse("<a><![CDATA[<raw> & stuff]]></a>");
+  EXPECT_EQ(store_.StringValue(doc), "<raw> & stuff");
+}
+
+TEST_F(XmlTest, CommentsAndPisSkipped) {
+  NodeIdx doc = MustParse(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><?pi data?><b/></a>");
+  NodeIdx a = doc + 1;
+  EXPECT_EQ(store_.size(a), 1u);  // only <b/>
+}
+
+TEST_F(XmlTest, WhitespaceOnlyTextStripped) {
+  NodeIdx doc = MustParse("<a>\n  <b/>\n  <c/>\n</a>");
+  NodeIdx a = doc + 1;
+  EXPECT_EQ(store_.size(a), 2u);
+}
+
+TEST_F(XmlTest, WhitespacePreservedOnRequest) {
+  XmlParseOptions opts;
+  opts.strip_whitespace = false;
+  NodeIdx doc = MustParse("<a> <b/> </a>", opts);
+  NodeIdx a = doc + 1;
+  EXPECT_EQ(store_.size(a), 3u);  // text, b, text
+}
+
+TEST_F(XmlTest, MixedContentPreserved) {
+  EXPECT_EQ(RoundTrip("<p>one <em>two</em> three</p>"),
+            "<p>one <em>two</em> three</p>");
+}
+
+TEST_F(XmlTest, DoctypeSkipped) {
+  NodeIdx doc = MustParse("<!DOCTYPE a><a/>");
+  EXPECT_EQ(store_.kind(doc + 1), NodeKind::kElement);
+}
+
+TEST_F(XmlTest, ErrorMismatchedTag) {
+  Result<NodeIdx> r = ParseXml(&store_, "<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST_F(XmlTest, ErrorUnterminated) {
+  EXPECT_FALSE(ParseXml(&store_, "<a><b>").ok());
+  EXPECT_FALSE(ParseXml(&store_, "<a attr=>").ok());
+  EXPECT_FALSE(ParseXml(&store_, "<a attr=\"x>").ok());
+}
+
+TEST_F(XmlTest, ErrorTrailingContent) {
+  EXPECT_FALSE(ParseXml(&store_, "<a/><b/>").ok());
+}
+
+TEST_F(XmlTest, DeepNesting) {
+  std::string xml;
+  for (int i = 0; i < 50; ++i) xml += "<n>";
+  xml += "x";
+  for (int i = 0; i < 50; ++i) xml += "</n>";
+  NodeIdx doc = MustParse(xml);
+  EXPECT_EQ(store_.size(doc), 51u);
+  EXPECT_EQ(store_.level(doc + 50), 50);
+}
+
+TEST_F(XmlTest, SerializerEscapesAttributes) {
+  std::string out;
+  EscapeAttribute("a\"b<c>&d", &out);
+  EXPECT_EQ(out, "a&quot;b&lt;c&gt;&amp;d");
+}
+
+TEST_F(XmlTest, SerializeBareAttributeAndText) {
+  NodeIdx attr =
+      store_.MakeAttribute(strings_.Intern("k"), strings_.Intern("v<"));
+  EXPECT_EQ(SerializeNode(store_, attr), "k=\"v&lt;\"");
+  NodeIdx text = store_.MakeText(strings_.Intern("a&b"));
+  EXPECT_EQ(SerializeNode(store_, text), "a&amp;b");
+}
+
+TEST_F(XmlTest, RoundTripFixpointOnRandomDocuments) {
+  // parse(serialize(parse(x))) == parse(x): serialization is a fixpoint
+  // under re-parsing, for randomly generated documents with attributes,
+  // mixed content and escapes.
+  uint64_t state = 0xc0ffee;
+  auto next = [&] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int seed = 0; seed < 20; ++seed) {
+    state = 0x1000 + static_cast<uint64_t>(seed);
+    std::function<std::string(int)> build = [&](int depth) {
+      std::string name = "n" + std::to_string(next() % 4);
+      std::string xml = "<" + name;
+      if (next() % 2 != 0) {
+        xml += " a=\"v&amp;" + std::to_string(next() % 9) + "\"";
+      }
+      xml += ">";
+      size_t children = depth > 0 ? next() % 4 : 0;
+      for (size_t i = 0; i < children; ++i) {
+        if (next() % 3 == 0) {
+          xml += "t&lt;" + std::to_string(next() % 100) + " ";
+        } else {
+          xml += build(depth - 1);
+        }
+      }
+      xml += "</" + name + ">";
+      return xml;
+    };
+    std::string xml = build(4);
+    Result<NodeIdx> first = ParseXml(&store_, xml);
+    ASSERT_TRUE(first.ok()) << xml;
+    std::string once = SerializeNode(store_, *first);
+    Result<NodeIdx> second = ParseXml(&store_, once);
+    ASSERT_TRUE(second.ok()) << once;
+    EXPECT_EQ(SerializeNode(store_, *second), once) << xml;
+  }
+}
+
+TEST_F(XmlTest, StoreInvariantsOnParsedDocuments) {
+  // size/level/parent consistency over a representative document.
+  NodeIdx doc = MustParse(
+      "<r a=\"1\"><x><y k=\"2\">t</y></x><x/>mix<z><z><z/></z></z></r>");
+  NodeIdx end = doc + store_.size(doc);
+  for (NodeIdx n = doc; n <= end; ++n) {
+    // Subtree ranges nest within the parent's range.
+    NodeIdx p = store_.parent(n);
+    if (p != kInvalidNode) {
+      EXPECT_GT(n, p);
+      EXPECT_LE(n + store_.size(n), p + store_.size(p));
+      EXPECT_EQ(store_.level(n), store_.level(p) + 1);
+    }
+    // Children partition the subtree range (minus attributes).
+    if (store_.kind(n) == NodeKind::kElement) {
+      NodeIdx c = n + 1;
+      NodeIdx subtree_end = n + store_.size(n);
+      while (c <= subtree_end) {
+        EXPECT_EQ(store_.parent(c), n);
+        c += store_.size(c) + 1;
+      }
+      EXPECT_EQ(c, subtree_end + 1);
+    }
+  }
+}
+
+TEST_F(XmlTest, IndentedOutputContainsNewlines) {
+  NodeIdx doc = MustParse("<a><b><c/></b></a>");
+  XmlSerializeOptions opts;
+  opts.indent = true;
+  std::string out = SerializeNode(store_, doc, opts);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+  EXPECT_NE(out.find("  <b>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exrquy
