@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_union_concat.dir/bench_fig10_union_concat.cc.o"
+  "CMakeFiles/bench_fig10_union_concat.dir/bench_fig10_union_concat.cc.o.d"
+  "bench_fig10_union_concat"
+  "bench_fig10_union_concat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_union_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

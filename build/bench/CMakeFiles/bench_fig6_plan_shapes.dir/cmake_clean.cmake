@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_plan_shapes.dir/bench_fig6_plan_shapes.cc.o"
+  "CMakeFiles/bench_fig6_plan_shapes.dir/bench_fig6_plan_shapes.cc.o.d"
+  "bench_fig6_plan_shapes"
+  "bench_fig6_plan_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_plan_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

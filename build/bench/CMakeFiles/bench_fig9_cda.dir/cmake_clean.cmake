@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cda.dir/bench_fig9_cda.cc.o"
+  "CMakeFiles/bench_fig9_cda.dir/bench_fig9_cda.cc.o.d"
+  "bench_fig9_cda"
+  "bench_fig9_cda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

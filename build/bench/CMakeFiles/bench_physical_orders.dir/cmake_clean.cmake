@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_physical_orders.dir/bench_physical_orders.cc.o"
+  "CMakeFiles/bench_physical_orders.dir/bench_physical_orders.cc.o.d"
+  "bench_physical_orders"
+  "bench_physical_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_physical_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

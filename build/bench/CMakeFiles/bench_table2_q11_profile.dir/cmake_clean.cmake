@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_q11_profile.dir/bench_table2_q11_profile.cc.o"
+  "CMakeFiles/bench_table2_q11_profile.dir/bench_table2_q11_profile.cc.o.d"
+  "bench_table2_q11_profile"
+  "bench_table2_q11_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_q11_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_semantics.dir/order_semantics.cpp.o"
+  "CMakeFiles/order_semantics.dir/order_semantics.cpp.o.d"
+  "order_semantics"
+  "order_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/xq.cpp" "examples/CMakeFiles/xq.dir/xq.cpp.o" "gcc" "examples/CMakeFiles/xq.dir/xq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exrquy_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_xmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

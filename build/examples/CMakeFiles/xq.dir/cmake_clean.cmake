@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xq.dir/xq.cpp.o"
+  "CMakeFiles/xq.dir/xq.cpp.o.d"
+  "xq"
+  "xq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

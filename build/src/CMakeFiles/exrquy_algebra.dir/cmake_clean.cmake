@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_algebra.dir/algebra/algebra.cc.o"
+  "CMakeFiles/exrquy_algebra.dir/algebra/algebra.cc.o.d"
+  "CMakeFiles/exrquy_algebra.dir/algebra/dot.cc.o"
+  "CMakeFiles/exrquy_algebra.dir/algebra/dot.cc.o.d"
+  "CMakeFiles/exrquy_algebra.dir/algebra/stats.cc.o"
+  "CMakeFiles/exrquy_algebra.dir/algebra/stats.cc.o.d"
+  "libexrquy_algebra.a"
+  "libexrquy_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

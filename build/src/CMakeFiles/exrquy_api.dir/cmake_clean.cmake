@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_api.dir/api/session.cc.o"
+  "CMakeFiles/exrquy_api.dir/api/session.cc.o.d"
+  "libexrquy_api.a"
+  "libexrquy_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_common.dir/common/status.cc.o"
+  "CMakeFiles/exrquy_common.dir/common/status.cc.o.d"
+  "CMakeFiles/exrquy_common.dir/common/str_pool.cc.o"
+  "CMakeFiles/exrquy_common.dir/common/str_pool.cc.o.d"
+  "CMakeFiles/exrquy_common.dir/common/symbols.cc.o"
+  "CMakeFiles/exrquy_common.dir/common/symbols.cc.o.d"
+  "libexrquy_common.a"
+  "libexrquy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

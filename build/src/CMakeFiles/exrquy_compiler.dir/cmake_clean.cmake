@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_compiler.dir/compiler/compile.cc.o"
+  "CMakeFiles/exrquy_compiler.dir/compiler/compile.cc.o.d"
+  "libexrquy_compiler.a"
+  "libexrquy_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

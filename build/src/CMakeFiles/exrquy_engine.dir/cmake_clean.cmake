@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_engine.dir/engine/eval.cc.o"
+  "CMakeFiles/exrquy_engine.dir/engine/eval.cc.o.d"
+  "CMakeFiles/exrquy_engine.dir/engine/profile.cc.o"
+  "CMakeFiles/exrquy_engine.dir/engine/profile.cc.o.d"
+  "CMakeFiles/exrquy_engine.dir/engine/table.cc.o"
+  "CMakeFiles/exrquy_engine.dir/engine/table.cc.o.d"
+  "CMakeFiles/exrquy_engine.dir/engine/value.cc.o"
+  "CMakeFiles/exrquy_engine.dir/engine/value.cc.o.d"
+  "libexrquy_engine.a"
+  "libexrquy_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

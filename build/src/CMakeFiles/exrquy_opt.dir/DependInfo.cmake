@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/icols.cc" "src/CMakeFiles/exrquy_opt.dir/opt/icols.cc.o" "gcc" "src/CMakeFiles/exrquy_opt.dir/opt/icols.cc.o.d"
+  "/root/repo/src/opt/pipeline.cc" "src/CMakeFiles/exrquy_opt.dir/opt/pipeline.cc.o" "gcc" "src/CMakeFiles/exrquy_opt.dir/opt/pipeline.cc.o.d"
+  "/root/repo/src/opt/properties.cc" "src/CMakeFiles/exrquy_opt.dir/opt/properties.cc.o" "gcc" "src/CMakeFiles/exrquy_opt.dir/opt/properties.cc.o.d"
+  "/root/repo/src/opt/rewrites.cc" "src/CMakeFiles/exrquy_opt.dir/opt/rewrites.cc.o" "gcc" "src/CMakeFiles/exrquy_opt.dir/opt/rewrites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exrquy_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exrquy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

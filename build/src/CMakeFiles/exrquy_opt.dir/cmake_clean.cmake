@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_opt.dir/opt/icols.cc.o"
+  "CMakeFiles/exrquy_opt.dir/opt/icols.cc.o.d"
+  "CMakeFiles/exrquy_opt.dir/opt/pipeline.cc.o"
+  "CMakeFiles/exrquy_opt.dir/opt/pipeline.cc.o.d"
+  "CMakeFiles/exrquy_opt.dir/opt/properties.cc.o"
+  "CMakeFiles/exrquy_opt.dir/opt/properties.cc.o.d"
+  "CMakeFiles/exrquy_opt.dir/opt/rewrites.cc.o"
+  "CMakeFiles/exrquy_opt.dir/opt/rewrites.cc.o.d"
+  "libexrquy_opt.a"
+  "libexrquy_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_ref.dir/ref/interp.cc.o"
+  "CMakeFiles/exrquy_ref.dir/ref/interp.cc.o.d"
+  "libexrquy_ref.a"
+  "libexrquy_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

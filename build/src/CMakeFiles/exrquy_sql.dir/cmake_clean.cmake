@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_sql.dir/sql/sql_gen.cc.o"
+  "CMakeFiles/exrquy_sql.dir/sql/sql_gen.cc.o.d"
+  "libexrquy_sql.a"
+  "libexrquy_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_xmark.dir/xmark/generator.cc.o"
+  "CMakeFiles/exrquy_xmark.dir/xmark/generator.cc.o.d"
+  "CMakeFiles/exrquy_xmark.dir/xmark/queries.cc.o"
+  "CMakeFiles/exrquy_xmark.dir/xmark/queries.cc.o.d"
+  "libexrquy_xmark.a"
+  "libexrquy_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

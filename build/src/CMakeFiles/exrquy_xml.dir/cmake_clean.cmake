@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_xml.dir/xml/node_store.cc.o"
+  "CMakeFiles/exrquy_xml.dir/xml/node_store.cc.o.d"
+  "CMakeFiles/exrquy_xml.dir/xml/serializer.cc.o"
+  "CMakeFiles/exrquy_xml.dir/xml/serializer.cc.o.d"
+  "CMakeFiles/exrquy_xml.dir/xml/step.cc.o"
+  "CMakeFiles/exrquy_xml.dir/xml/step.cc.o.d"
+  "CMakeFiles/exrquy_xml.dir/xml/xml_parser.cc.o"
+  "CMakeFiles/exrquy_xml.dir/xml/xml_parser.cc.o.d"
+  "libexrquy_xml.a"
+  "libexrquy_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

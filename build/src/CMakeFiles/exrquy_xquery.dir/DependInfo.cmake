@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xquery/ast.cc" "src/CMakeFiles/exrquy_xquery.dir/xquery/ast.cc.o" "gcc" "src/CMakeFiles/exrquy_xquery.dir/xquery/ast.cc.o.d"
+  "/root/repo/src/xquery/lexer.cc" "src/CMakeFiles/exrquy_xquery.dir/xquery/lexer.cc.o" "gcc" "src/CMakeFiles/exrquy_xquery.dir/xquery/lexer.cc.o.d"
+  "/root/repo/src/xquery/normalize.cc" "src/CMakeFiles/exrquy_xquery.dir/xquery/normalize.cc.o" "gcc" "src/CMakeFiles/exrquy_xquery.dir/xquery/normalize.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/CMakeFiles/exrquy_xquery.dir/xquery/parser.cc.o" "gcc" "src/CMakeFiles/exrquy_xquery.dir/xquery/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exrquy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

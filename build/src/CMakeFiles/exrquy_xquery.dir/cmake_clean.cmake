@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exrquy_xquery.dir/xquery/ast.cc.o"
+  "CMakeFiles/exrquy_xquery.dir/xquery/ast.cc.o.d"
+  "CMakeFiles/exrquy_xquery.dir/xquery/lexer.cc.o"
+  "CMakeFiles/exrquy_xquery.dir/xquery/lexer.cc.o.d"
+  "CMakeFiles/exrquy_xquery.dir/xquery/normalize.cc.o"
+  "CMakeFiles/exrquy_xquery.dir/xquery/normalize.cc.o.d"
+  "CMakeFiles/exrquy_xquery.dir/xquery/parser.cc.o"
+  "CMakeFiles/exrquy_xquery.dir/xquery/parser.cc.o.d"
+  "libexrquy_xquery.a"
+  "libexrquy_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exrquy_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

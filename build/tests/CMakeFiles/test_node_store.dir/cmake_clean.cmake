@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_store.dir/test_node_store.cc.o"
+  "CMakeFiles/test_node_store.dir/test_node_store.cc.o.d"
+  "test_node_store"
+  "test_node_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

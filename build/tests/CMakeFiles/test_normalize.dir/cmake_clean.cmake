@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normalize.dir/test_normalize.cc.o"
+  "CMakeFiles/test_normalize.dir/test_normalize.cc.o.d"
+  "test_normalize"
+  "test_normalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

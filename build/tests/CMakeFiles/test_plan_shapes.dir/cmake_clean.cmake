@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_shapes.dir/test_plan_shapes.cc.o"
+  "CMakeFiles/test_plan_shapes.dir/test_plan_shapes.cc.o.d"
+  "test_plan_shapes"
+  "test_plan_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

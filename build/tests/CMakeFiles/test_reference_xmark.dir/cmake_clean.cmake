@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_xmark.dir/test_reference_xmark.cc.o"
+  "CMakeFiles/test_reference_xmark.dir/test_reference_xmark.cc.o.d"
+  "test_reference_xmark"
+  "test_reference_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_gen.dir/test_sql_gen.cc.o"
+  "CMakeFiles/test_sql_gen.dir/test_sql_gen.cc.o.d"
+  "test_sql_gen"
+  "test_sql_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

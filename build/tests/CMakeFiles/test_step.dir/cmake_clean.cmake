@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_step.dir/test_step.cc.o"
+  "CMakeFiles/test_step.dir/test_step.cc.o.d"
+  "test_step"
+  "test_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

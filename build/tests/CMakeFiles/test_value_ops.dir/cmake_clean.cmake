@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_ops.dir/test_value_ops.cc.o"
+  "CMakeFiles/test_value_ops.dir/test_value_ops.cc.o.d"
+  "test_value_ops"
+  "test_value_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmark_results.dir/test_xmark_results.cc.o"
+  "CMakeFiles/test_xmark_results.dir/test_xmark_results.cc.o.d"
+  "test_xmark_results"
+  "test_xmark_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmark_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
