@@ -344,6 +344,15 @@ OpId Dag::Add(Op op) {
   return id;
 }
 
+OpId Dag::AddUnchecked(Op op, std::vector<ColId> schema) {
+  op.schema = std::move(schema);
+  OpId id = static_cast<OpId>(ops_.size());
+  // Deliberately not entered into the hash-cons index: malformed ops must
+  // never be returned by the builders.
+  ops_.push_back(std::move(op));
+  return id;
+}
+
 OpId Dag::Lit(LitTable table) {
   Op op;
   op.kind = OpKind::kLit;

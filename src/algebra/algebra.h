@@ -211,6 +211,12 @@ class Dag {
   // Generic insertion with hash-consing; validates and computes schema.
   OpId Add(Op op);
 
+  // Raw insertion without validation, schema computation, or
+  // hash-consing: the stored schema is taken as given. Exists so tests
+  // and fuzzers can build deliberately malformed plans for the verifier
+  // (opt/verify.h); never used by the compiler or the rewrites.
+  OpId AddUnchecked(Op op, std::vector<ColId> schema);
+
   // -- Builders ------------------------------------------------------------
   OpId Lit(LitTable table);
   // Empty table with the given schema.

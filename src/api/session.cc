@@ -6,6 +6,7 @@
 
 #include "compiler/compile.h"
 #include "opt/pipeline.h"
+#include "opt/verify.h"
 #include "xml/xml_parser.h"
 #include "xquery/normalize.h"
 #include "xquery/parser.h"
@@ -60,13 +61,31 @@ Result<QueryPlans> Session::PlanInternal(std::string_view query,
   plans.dag = std::move(compiled.dag);
   plans.initial = compiled.root;
 
+  // Every compiled plan is statically verified before it goes anywhere
+  // near the rewrites or the engine: a miscompilation surfaces here as a
+  // Status naming the violated invariant, not as wrong answers or UB.
+  Status verified = VerifyPlan(*plans.dag, plans.initial);
+  if (!verified.ok()) {
+    return Internal("compiled plan rejected: " + verified.message());
+  }
+
   OptimizeOptions oopts;
   oopts.enable = options.enable_order_indifference;
   oopts.rewrites.column_pruning = options.column_pruning;
   oopts.rewrites.weaken_rownum = options.weaken_rownum;
   oopts.rewrites.distinct_elimination = options.distinct_elimination;
   oopts.rewrites.step_merging = options.step_merging;
-  plans.optimized = Optimize(plans.dag.get(), plans.initial, oopts);
+  oopts.verify_each_pass = options.verify_each_pass;
+  oopts.strings = &strings_;
+  EXRQUY_ASSIGN_OR_RETURN(
+      plans.optimized, Optimize(plans.dag.get(), plans.initial, oopts));
+
+  // And once more after the pipeline (cheap single pass) so a rewrite
+  // bug is caught even when the per-pass hook is off.
+  verified = VerifyPlan(*plans.dag, plans.optimized);
+  if (!verified.ok()) {
+    return Internal("optimized plan rejected: " + verified.message());
+  }
   return plans;
 }
 

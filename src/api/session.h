@@ -45,6 +45,13 @@ struct QueryOptions {
   bool distinct_elimination = true;  // '|' -> ',' (Section 4.2)
   bool step_merging = true;          // Q6/Q7 step fusion
 
+  // Re-verifies the plan after every optimizer pass (opt/verify.h) and
+  // names the first offending rewrite on failure. Every compiled and
+  // optimized plan is verified once regardless of this flag before it
+  // reaches the engine; this turns on the per-pass hook, for debugging
+  // rewrites and for the fuzz/equivalence suites.
+  bool verify_each_pass = false;
+
   // Physical-plan order detection (orthogonal to the logical rewrites;
   // Section 6's pointer to combined order/grouping frameworks): % skips
   // its blocking sort when the input already arrives in the requested

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "opt/verify.h"
 #include "xml/serializer.h"
 #include "xml/step.h"
 
@@ -101,6 +102,14 @@ Evaluator::Evaluator(const Dag& dag, EvalContext* ctx)
     : dag_(dag), ctx_(ctx), ops_(ctx->strings, ctx->store) {}
 
 Result<TablePtr> Evaluator::Eval(OpId root) {
+  // A malformed plan (hand-built, or produced by a buggy rewrite that
+  // slipped past the pipeline's own verification) must fail as a Status,
+  // not as out-of-bounds column accesses mid-evaluation. Structure and
+  // schema checks only — property auditing is the optimizer's concern.
+  VerifyOptions guard;
+  guard.check_properties = false;
+  EXRQUY_RETURN_IF_ERROR(VerifyPlan(dag_, root, guard));
+
   // Bottom-up over the reachable sub-DAG: each operator evaluated once,
   // shared sub-plans reused (full materialization, MonetDB style).
   for (OpId id : dag_.ReachableFrom(root)) {

@@ -1,13 +1,88 @@
 #include "opt/pipeline.h"
 
-namespace exrquy {
+#include <string>
 
-OpId Optimize(Dag* dag, OpId root, const OptimizeOptions& options) {
+#include "algebra/dot.h"
+#include "opt/verify.h"
+
+namespace exrquy {
+namespace {
+
+// The individually attributable rewrite families of one combined pass,
+// in the order the attribution replay applies them.
+struct NamedRewrite {
+  const char* name;
+  bool RewriteOptions::*flag;
+};
+
+constexpr NamedRewrite kNamedRewrites[] = {
+    {"column_pruning", &RewriteOptions::column_pruning},
+    {"weaken_rownum", &RewriteOptions::weaken_rownum},
+    {"distinct_elimination", &RewriteOptions::distinct_elimination},
+    {"step_merging", &RewriteOptions::step_merging},
+};
+
+Status VerifyFailure(const Dag& dag, OpId bad_root,
+                     const OptimizeOptions& options, int pass,
+                     const std::string& stage, const Status& diag) {
+  std::string msg = "optimizer pass " + std::to_string(pass) + ", " + stage +
+                    ": " + diag.message();
+  if (options.strings != nullptr) {
+    msg += "\noffending plan:\n" + PlanToDot(dag, bad_root, *options.strings);
+  }
+  return Internal(std::move(msg));
+}
+
+// The combined pass broke an invariant: replay it from `before` one
+// rewrite family at a time and blame the first one whose output fails to
+// verify. Falls back to blaming the combined pass if each family is
+// individually clean (an interaction bug).
+Status AttributeFailure(Dag* dag, OpId before, const OptimizeOptions& options,
+                        int pass, OpId combined_root,
+                        const Status& combined_diag) {
+  OpId current = before;
+  for (const NamedRewrite& r : kNamedRewrites) {
+    if (!(options.rewrites.*(r.flag))) continue;
+    RewriteOptions solo;
+    solo.column_pruning = false;
+    solo.weaken_rownum = false;
+    solo.distinct_elimination = false;
+    solo.step_merging = false;
+    solo.*(r.flag) = true;
+    bool changed = false;
+    current = RewriteOnce(dag, current, solo, &changed);
+    Status diag = VerifyPlan(*dag, current);
+    if (!diag.ok()) {
+      return VerifyFailure(*dag, current, options, pass,
+                           "rewrite '" + std::string(r.name) + "'", diag);
+    }
+  }
+  return VerifyFailure(*dag, combined_root, options, pass,
+                       "combined rewrite pass", combined_diag);
+}
+
+}  // namespace
+
+Result<OpId> Optimize(Dag* dag, OpId root, const OptimizeOptions& options) {
   if (!options.enable) return root;
+  if (options.verify_each_pass) {
+    Status diag = VerifyPlan(*dag, root);
+    if (!diag.ok()) {
+      return VerifyFailure(*dag, root, options, 0,
+                           "initial plan (compiler output)", diag);
+    }
+  }
   OpId current = root;
   for (int pass = 0; pass < options.max_passes; ++pass) {
     bool changed = false;
+    OpId before = current;
     current = RewriteOnce(dag, current, options.rewrites, &changed);
+    if (options.verify_each_pass) {
+      Status diag = VerifyPlan(*dag, current);
+      if (!diag.ok()) {
+        return AttributeFailure(dag, before, options, pass, current, diag);
+      }
+    }
     if (!changed) break;
   }
   return current;

@@ -5,6 +5,7 @@
 #define EXRQUY_OPT_PIPELINE_H_
 
 #include "algebra/algebra.h"
+#include "common/status.h"
 #include "opt/rewrites.h"
 
 namespace exrquy {
@@ -15,11 +16,21 @@ struct OptimizeOptions {
   bool enable = true;
   RewriteOptions rewrites;
   int max_passes = 8;
+
+  // Re-verifies the plan (opt/verify.h, all checks) after every rewrite
+  // pass. When a pass breaks an invariant the pass is replayed one
+  // rewrite family at a time so the failure names the first offending
+  // rewrite; the diagnostic carries a dot graph of the bad plan when
+  // `strings` is set. The good path is unaffected: passes still apply
+  // all rewrites combined, so verification never changes the plan.
+  bool verify_each_pass = false;
+  const StrPool* strings = nullptr;  // for dot dumps in failure reports
 };
 
 // Returns the new plan root (ops are appended to the same DAG; use
-// ReachableFrom/CollectPlanStats on the returned root).
-OpId Optimize(Dag* dag, OpId root, const OptimizeOptions& options);
+// ReachableFrom/CollectPlanStats on the returned root), or the first
+// verifier diagnostic when `verify_each_pass` catches a bad rewrite.
+Result<OpId> Optimize(Dag* dag, OpId root, const OptimizeOptions& options);
 
 }  // namespace exrquy
 

@@ -1,0 +1,682 @@
+#include "opt/verify.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "opt/properties.h"
+
+namespace exrquy {
+namespace {
+
+std::string OpLabel(const Dag& dag, OpId id) {
+  return "op " + std::to_string(id) + " (" +
+         OpKindName(dag.op(id).kind) + ")";
+}
+
+Status Fail(const Dag& dag, OpId id, const char* invariant,
+            const std::string& detail) {
+  return Internal("plan verifier: [" + std::string(invariant) + "] " +
+                  OpLabel(dag, id) + ": " + detail);
+}
+
+// ---------------------------------------------------------------------------
+// (1) Structure: edge sanity, acyclicity, arity, constructor sharing.
+// ---------------------------------------------------------------------------
+
+size_t ExpectedChildren(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLit:
+    case OpKind::kDoc:
+      return 0;
+    case OpKind::kProject:
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kRowNum:
+    case OpKind::kRowId:
+    case OpKind::kFun:
+    case OpKind::kAggr:
+    case OpKind::kStep:
+    case OpKind::kRange:
+      return 1;
+    case OpKind::kEquiJoin:
+    case OpKind::kCross:
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+    case OpKind::kCardCheck:
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode:
+      return 2;
+  }
+  return 0;
+}
+
+bool IsConstructor(OpKind kind) {
+  return kind == OpKind::kElem || kind == OpKind::kAttr ||
+         kind == OpKind::kTextNode;
+}
+
+// Collects the reachable sub-DAG into *order (ascending ids, which is
+// bottom-up once the downward-edge invariant holds). Never follows an
+// edge that is out of range or would close a cycle, so this terminates
+// on arbitrarily malformed input.
+Status CheckStructure(const Dag& dag, OpId root, std::vector<OpId>* order) {
+  if (root == kNoOp || root >= dag.size()) {
+    return Internal("plan verifier: [op-out-of-range] root id " +
+                    std::to_string(root) + " does not name an operator (" +
+                    std::to_string(dag.size()) + " ops in the DAG)");
+  }
+  std::vector<bool> seen(dag.size(), false);
+  std::vector<OpId> stack = {root};
+  seen[root] = true;
+  while (!stack.empty()) {
+    OpId id = stack.back();
+    stack.pop_back();
+    const Op& op = dag.op(id);
+    if (op.children.size() != ExpectedChildren(op.kind)) {
+      return Fail(dag, id, "child-arity",
+                  "expected " + std::to_string(ExpectedChildren(op.kind)) +
+                      " input(s), found " +
+                      std::to_string(op.children.size()));
+    }
+    for (OpId c : op.children) {
+      if (c == kNoOp) {
+        return Fail(dag, id, "op-out-of-range", "child is kNoOp");
+      }
+      if (c >= dag.size()) {
+        return Fail(dag, id, "op-out-of-range",
+                    "child id " + std::to_string(c) + " exceeds DAG size " +
+                        std::to_string(dag.size()));
+      }
+      if (c >= id) {
+        // Ids are assigned bottom-up, so any non-downward edge is a
+        // (potential) cycle.
+        return Fail(dag, id, "acyclicity",
+                    "edge to op " + std::to_string(c) +
+                        " does not point to an earlier operator");
+      }
+      if (!seen[c]) {
+        seen[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  for (OpId id = 0; id < dag.size(); ++id) {
+    if (seen[id]) order->push_back(id);
+  }
+  // Constructor sharing exemption: hash-consing must never have merged
+  // two syntactic node constructors (distinct node identities).
+  std::unordered_map<uint32_t, OpId> ctor_ids;
+  for (OpId id : *order) {
+    const Op& op = dag.op(id);
+    if (IsConstructor(op.kind)) {
+      if (op.constructor_id == 0) {
+        return Fail(dag, id, "constructor-sharing",
+                    "node constructor without a constructor id");
+      }
+      auto [it, inserted] = ctor_ids.emplace(op.constructor_id, id);
+      if (!inserted) {
+        return Fail(dag, id, "constructor-sharing",
+                    "shares constructor id " +
+                        std::to_string(op.constructor_id) + " with op " +
+                        std::to_string(it->second));
+      }
+    } else if (op.constructor_id != 0) {
+      return Fail(dag, id, "constructor-sharing",
+                  "non-constructor carries constructor id " +
+                      std::to_string(op.constructor_id));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// (2) Schema: column references, duplicates, arities, re-derivation.
+// ---------------------------------------------------------------------------
+
+size_t FunArity(FunKind fun) {
+  switch (fun) {
+    case FunKind::kNeg:
+    case FunKind::kNot:
+    case FunKind::kAtomize:
+    case FunKind::kToDouble:
+    case FunKind::kToString:
+    case FunKind::kStringLength:
+    case FunKind::kUpperCase:
+    case FunKind::kLowerCase:
+    case FunKind::kNormalizeSpace:
+    case FunKind::kAbs:
+    case FunKind::kFloor:
+    case FunKind::kCeiling:
+    case FunKind::kRound:
+    case FunKind::kNodeName:
+      return 1;
+    case FunKind::kSubstring3:
+      return 3;
+    default:
+      return 2;  // arithmetic, comparisons, connectives, binary strings
+  }
+}
+
+class SchemaChecker {
+ public:
+  explicit SchemaChecker(const Dag& dag) : dag_(dag) {}
+
+  Status Check(OpId id) {
+    id_ = id;
+    const Op& op = dag_.op(id);
+    std::vector<ColId> expected;
+    EXRQUY_RETURN_IF_ERROR(Derive(op, &expected));
+    // No duplicates, no kNoCol in the produced schema.
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (expected[i] == kNoCol) {
+        return Fail(dag_, id, "no-col", "schema contains kNoCol");
+      }
+      for (size_t j = i + 1; j < expected.size(); ++j) {
+        if (expected[i] == expected[j]) {
+          return Fail(dag_, id, "duplicate-column",
+                      "output column '" + ColName(expected[i]) +
+                          "' produced twice");
+        }
+      }
+    }
+    if (expected != op.schema) {
+      return Fail(dag_, id, "schema-mismatch",
+                  "stored schema disagrees with re-derivation (" +
+                      Cols(op.schema) + " vs " + Cols(expected) + ")");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static std::string Cols(const std::vector<ColId>& cols) {
+    std::string out = "[";
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (i != 0) out += ",";
+      out += cols[i] == kNoCol ? "<none>" : ColName(cols[i]);
+    }
+    return out + "]";
+  }
+
+  const Op& Child(const Op& op, size_t i) const {
+    return dag_.op(op.children[i]);
+  }
+
+  // A column reference into child `i` of the current operator: must not
+  // be kNoCol and must be produced by that child.
+  Status Ref(const Op& op, size_t i, ColId c, const char* what) {
+    if (c == kNoCol) {
+      return Fail(dag_, id_, "no-col",
+                  std::string(what) + " column is kNoCol");
+    }
+    if (!Child(op, i).HasCol(c)) {
+      return Fail(dag_, id_, "dangling-column",
+                  std::string(what) + " column '" + ColName(c) +
+                      "' is not produced by input op " +
+                      std::to_string(op.children[i]));
+    }
+    return Status::Ok();
+  }
+
+  Status Produced(ColId c, const char* what) {
+    if (c == kNoCol) {
+      return Fail(dag_, id_, "no-col",
+                  std::string(what) + " column is kNoCol");
+    }
+    return Status::Ok();
+  }
+
+  Status Derive(const Op& op, std::vector<ColId>* out) {
+    switch (op.kind) {
+      case OpKind::kLit: {
+        for (const auto& row : op.lit.rows) {
+          if (row.size() != op.lit.cols.size()) {
+            return Fail(dag_, id_, "lit-shape",
+                        "row with " + std::to_string(row.size()) +
+                            " value(s) in a " +
+                            std::to_string(op.lit.cols.size()) +
+                            "-column literal");
+          }
+        }
+        *out = op.lit.cols;
+        return Status::Ok();
+      }
+      case OpKind::kProject: {
+        for (const auto& [n, o] : op.proj) {
+          EXRQUY_RETURN_IF_ERROR(Produced(n, "projected"));
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 0, o, "projection source"));
+          out->push_back(n);
+        }
+        return Status::Ok();
+      }
+      case OpKind::kSelect:
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.col, "selection"));
+        *out = Child(op, 0).schema;
+        return Status::Ok();
+      case OpKind::kEquiJoin:
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.col, "left join"));
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 1, op.col2, "right join"));
+        [[fallthrough]];
+      case OpKind::kCross: {
+        *out = Child(op, 0).schema;
+        for (ColId c : Child(op, 1).schema) out->push_back(c);
+        return Status::Ok();  // duplicate check above reports overlap
+      }
+      case OpKind::kUnion: {
+        const std::vector<ColId>& l = Child(op, 0).schema;
+        std::vector<ColId> ls = l;
+        std::vector<ColId> rs = Child(op, 1).schema;
+        std::sort(ls.begin(), ls.end());
+        std::sort(rs.begin(), rs.end());
+        if (ls != rs) {
+          return Fail(dag_, id_, "union-schema",
+                      "branch schemas differ (" + Cols(Child(op, 0).schema) +
+                          " vs " + Cols(Child(op, 1).schema) + ")");
+        }
+        *out = l;
+        return Status::Ok();
+      }
+      case OpKind::kDifference:
+      case OpKind::kSemiJoin: {
+        for (ColId c : op.keys) {
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 0, c, "key"));
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 1, c, "key"));
+        }
+        *out = Child(op, 0).schema;
+        return Status::Ok();
+      }
+      case OpKind::kDistinct:
+        *out = Child(op, 0).schema;
+        return Status::Ok();
+      case OpKind::kRowNum: {
+        for (const SortKey& k : op.order) {
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 0, k.col, "order"));
+        }
+        if (op.part != kNoCol) {
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.part, "partition"));
+        }
+        EXRQUY_RETURN_IF_ERROR(Produced(op.col, "rank"));
+        *out = Child(op, 0).schema;
+        out->push_back(op.col);
+        return Status::Ok();
+      }
+      case OpKind::kRowId:
+        EXRQUY_RETURN_IF_ERROR(Produced(op.col, "row id"));
+        *out = Child(op, 0).schema;
+        out->push_back(op.col);
+        return Status::Ok();
+      case OpKind::kFun: {
+        if (op.args.size() != FunArity(op.fun)) {
+          return Fail(dag_, id_, "fun-arity",
+                      std::string(FunKindName(op.fun)) + " takes " +
+                          std::to_string(FunArity(op.fun)) +
+                          " argument(s), found " +
+                          std::to_string(op.args.size()));
+        }
+        for (ColId a : op.args) {
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 0, a, "argument"));
+        }
+        EXRQUY_RETURN_IF_ERROR(Produced(op.col, "result"));
+        *out = Child(op, 0).schema;
+        out->push_back(op.col);
+        return Status::Ok();
+      }
+      case OpKind::kAggr: {
+        if (op.aggr == AggrKind::kCount) {
+          // fn:count needs no argument column; a stray one must still be
+          // a real column (the dependency analysis will demand it).
+          if (op.col2 != kNoCol) {
+            EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.col2, "aggregate"));
+          }
+        } else {
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.col2, "aggregate"));
+        }
+        if (op.keys.size() > 1) {
+          return Fail(dag_, id_, "aggr-order",
+                      "at most one intra-group order column, found " +
+                          std::to_string(op.keys.size()));
+        }
+        for (ColId c : op.keys) {
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 0, c, "group order"));
+        }
+        EXRQUY_RETURN_IF_ERROR(Produced(op.col, "result"));
+        if (op.part != kNoCol) {
+          EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.part, "partition"));
+          out->push_back(op.part);
+        }
+        out->push_back(op.col);
+        return Status::Ok();
+      }
+      case OpKind::kStep:
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, col::iter(), "context iter"));
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, col::item(), "context item"));
+        *out = {col::iter(), col::item()};
+        return Status::Ok();
+      case OpKind::kDoc:
+        *out = {col::item()};
+        return Status::Ok();
+      case OpKind::kElem:
+      case OpKind::kAttr:
+      case OpKind::kTextNode:
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, col::iter(), "content iter"));
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, col::pos(), "content pos"));
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, col::item(), "content item"));
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 1, col::iter(), "loop iter"));
+        *out = {col::iter(), col::item()};
+        return Status::Ok();
+      case OpKind::kRange:
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, col::iter(), "context iter"));
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.col, "range lower"));
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.col2, "range upper"));
+        *out = {col::iter(), col::item()};
+        return Status::Ok();
+      case OpKind::kCardCheck:
+        if (op.min_card < 0 || op.max_card < op.min_card) {
+          return Fail(dag_, id_, "card-bounds",
+                      "bounds [" + std::to_string(op.min_card) + "," +
+                          std::to_string(op.max_card) + "] are not a valid "
+                          "cardinality interval");
+        }
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 0, col::iter(), "checked iter"));
+        EXRQUY_RETURN_IF_ERROR(Ref(op, 1, col::iter(), "loop iter"));
+        *out = Child(op, 0).schema;
+        return Status::Ok();
+    }
+    return Fail(dag_, id_, "child-arity", "unknown operator kind");
+  }
+
+  const Dag& dag_;
+  OpId id_ = kNoOp;
+};
+
+// ---------------------------------------------------------------------------
+// (3) Properties: independent fact derivation + claim auditing.
+// ---------------------------------------------------------------------------
+
+// Everything that is true of a relation with at most one row: any column
+// is trivially constant, order-meaningless, and row-identifying.
+void SaturateSingleRow(const Op& op, OpFacts* f) {
+  for (ColId c : op.schema) {
+    f->constant.insert(c);
+    f->arbitrary.insert(c);
+    f->keys.insert(c);
+  }
+}
+
+OpFacts DeriveOpFacts(const Dag& dag, OpId id,
+                      const std::unordered_map<OpId, OpFacts>& facts) {
+  const Op& op = dag.op(id);
+  OpFacts out;
+  auto child = [&](size_t i) -> const OpFacts& {
+    return facts.at(op.children[i]);
+  };
+  // Copies the facts of columns that survive into this operator's schema
+  // (row-preserving or row-subsetting operators).
+  auto inherit = [&](const OpFacts& f, bool keep_keys) {
+    for (ColId c : op.schema) {
+      if (f.constant.count(c) != 0) out.constant.insert(c);
+      if (f.arbitrary.count(c) != 0) out.arbitrary.insert(c);
+      if (keep_keys && f.keys.count(c) != 0) out.keys.insert(c);
+    }
+  };
+
+  switch (op.kind) {
+    case OpKind::kLit: {
+      size_t n = op.lit.rows.size();
+      out.no_rows = n == 0;
+      out.at_most_one_row = n <= 1;
+      for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+        bool constant = true;
+        bool distinct = true;
+        for (size_t r = 0; r < n; ++r) {
+          for (size_t r2 = r + 1; r2 < n; ++r2) {
+            if (op.lit.rows[r][i] == op.lit.rows[r2][i]) {
+              distinct = false;
+            } else {
+              constant = false;
+            }
+          }
+        }
+        if (constant) out.constant.insert(op.lit.cols[i]);
+        if (distinct) out.keys.insert(op.lit.cols[i]);
+      }
+      break;
+    }
+    case OpKind::kProject: {
+      const OpFacts& f = child(0);
+      out.at_most_one_row = f.at_most_one_row;
+      out.no_rows = f.no_rows;
+      for (const auto& [n, o] : op.proj) {
+        if (f.constant.count(o) != 0) out.constant.insert(n);
+        if (f.arbitrary.count(o) != 0) out.arbitrary.insert(n);
+        if (f.keys.count(o) != 0) out.keys.insert(n);
+      }
+      break;
+    }
+    // Row subsets: every per-column fact survives.
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+    case OpKind::kCardCheck: {
+      const OpFacts& f = child(0);
+      out.at_most_one_row = f.at_most_one_row;
+      out.no_rows = f.no_rows;
+      inherit(f, /*keep_keys=*/true);
+      break;
+    }
+    case OpKind::kEquiJoin:
+    case OpKind::kCross: {
+      const OpFacts& l = child(0);
+      const OpFacts& r = child(1);
+      out.at_most_one_row = l.at_most_one_row && r.at_most_one_row;
+      out.no_rows = l.no_rows || r.no_rows;
+      inherit(l, /*keep_keys=*/false);
+      inherit(r, /*keep_keys=*/false);
+      // A side's keys survive when each of its rows appears at most once:
+      // the other side contributes at most one match per row.
+      bool left_once;
+      bool right_once;
+      if (op.kind == OpKind::kEquiJoin) {
+        left_once = r.keys.count(op.col2) != 0 || r.at_most_one_row;
+        right_once = l.keys.count(op.col) != 0 || l.at_most_one_row;
+      } else {
+        left_once = r.at_most_one_row;
+        right_once = l.at_most_one_row;
+      }
+      if (left_once) {
+        for (ColId c : l.keys) out.keys.insert(c);
+      }
+      if (right_once) {
+        for (ColId c : r.keys) out.keys.insert(c);
+      }
+      break;
+    }
+    case OpKind::kUnion: {
+      const OpFacts& l = child(0);
+      const OpFacts& r = child(1);
+      out.no_rows = l.no_rows && r.no_rows;
+      out.at_most_one_row =
+          (l.no_rows && r.at_most_one_row) || (r.no_rows && l.at_most_one_row);
+      if (l.no_rows) {
+        inherit(r, /*keep_keys=*/true);
+      } else if (r.no_rows) {
+        inherit(l, /*keep_keys=*/true);
+      } else {
+        // Constancy and keys need cross-branch value reasoning (out of
+        // scope); order-meaninglessness survives when both agree.
+        for (ColId c : l.arbitrary) {
+          if (r.arbitrary.count(c) != 0) out.arbitrary.insert(c);
+        }
+      }
+      break;
+    }
+    case OpKind::kRowNum: {
+      const OpFacts& f = child(0);
+      out.at_most_one_row = f.at_most_one_row;
+      out.no_rows = f.no_rows;
+      inherit(f, /*keep_keys=*/true);
+      // A dense numbering over the whole table identifies rows; within
+      // partitions it repeats across groups.
+      if (op.part == kNoCol) out.keys.insert(op.col);
+      break;
+    }
+    case OpKind::kRowId: {
+      const OpFacts& f = child(0);
+      out.at_most_one_row = f.at_most_one_row;
+      out.no_rows = f.no_rows;
+      inherit(f, /*keep_keys=*/true);
+      out.keys.insert(op.col);
+      out.arbitrary.insert(op.col);  // # numbers in arbitrary order
+      break;
+    }
+    case OpKind::kFun: {
+      const OpFacts& f = child(0);
+      out.at_most_one_row = f.at_most_one_row;
+      out.no_rows = f.no_rows;
+      inherit(f, /*keep_keys=*/true);
+      bool all_const = true;
+      for (ColId a : op.args) {
+        if (f.constant.count(a) == 0) all_const = false;
+      }
+      if (all_const) out.constant.insert(op.col);
+      break;
+    }
+    case OpKind::kAggr: {
+      const OpFacts& f = child(0);
+      out.at_most_one_row = f.at_most_one_row || op.part == kNoCol;
+      out.no_rows = op.part != kNoCol && f.no_rows;
+      if (op.part != kNoCol) {
+        if (f.constant.count(op.part) != 0) out.constant.insert(op.part);
+        if (f.arbitrary.count(op.part) != 0) out.arbitrary.insert(op.part);
+        out.keys.insert(op.part);  // one output row per group
+      }
+      break;
+    }
+    case OpKind::kStep:
+    case OpKind::kRange: {
+      // (iter, item) rows fanned out from the context; iter facts flow
+      // through, cardinality does not.
+      const OpFacts& f = child(0);
+      out.no_rows = f.no_rows;
+      if (f.constant.count(col::iter()) != 0) {
+        out.constant.insert(col::iter());
+      }
+      if (f.arbitrary.count(col::iter()) != 0) {
+        out.arbitrary.insert(col::iter());
+      }
+      break;
+    }
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode: {
+      // One fresh node per row of the loop relation (child 1).
+      const OpFacts& loop = child(1);
+      out.at_most_one_row = loop.at_most_one_row;
+      out.no_rows = loop.no_rows;
+      if (loop.constant.count(col::iter()) != 0) {
+        out.constant.insert(col::iter());
+      }
+      if (loop.arbitrary.count(col::iter()) != 0) {
+        out.arbitrary.insert(col::iter());
+      }
+      if (loop.keys.count(col::iter()) != 0) out.keys.insert(col::iter());
+      out.keys.insert(col::item());  // distinct node identities
+      break;
+    }
+    case OpKind::kDoc:
+      out.at_most_one_row = true;
+      break;
+  }
+  if (out.at_most_one_row) SaturateSingleRow(op, &out);
+  return out;
+}
+
+}  // namespace
+
+std::unordered_map<OpId, OpFacts> DeriveFacts(const Dag& dag, OpId root) {
+  std::unordered_map<OpId, OpFacts> facts;
+  for (OpId id : dag.ReachableFrom(root)) {
+    facts.emplace(id, DeriveOpFacts(dag, id, facts));
+  }
+  return facts;
+}
+
+Status CheckClaims(const Dag& dag, OpId id, const OpFacts& claimed,
+                   const OpFacts& derived) {
+  const Op& op = dag.op(id);
+  struct Aspect {
+    const char* what;
+    const ColSet& claim;
+    const ColSet& fact;
+  };
+  const Aspect aspects[] = {
+      {"constant", claimed.constant, derived.constant},
+      {"arbitrary-order", claimed.arbitrary, derived.arbitrary},
+      {"key", claimed.keys, derived.keys},
+  };
+  for (const Aspect& a : aspects) {
+    for (ColId c : a.claim) {
+      if (!op.HasCol(c)) {
+        return Fail(dag, id, "property-claim",
+                    std::string(a.what) + " claim for column '" +
+                        ColName(c) + "' which is not in the schema");
+      }
+      if (a.fact.count(c) == 0) {
+        return Fail(dag, id, "property-claim",
+                    std::string(a.what) + " claim for column '" +
+                        ColName(c) + "' is not independently derivable");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifyPlan(const Dag& dag, OpId root, const VerifyOptions& options) {
+  std::vector<OpId> order;
+  // Structure must hold before anything else may walk the DAG.
+  EXRQUY_RETURN_IF_ERROR(CheckStructure(dag, root, &order));
+  if (options.check_schema || options.check_properties) {
+    SchemaChecker schemas(dag);
+    for (OpId id : order) {
+      EXRQUY_RETURN_IF_ERROR(schemas.Check(id));
+    }
+  }
+  if (options.check_properties) {
+    // Audit the property claims that license % weakening against an
+    // independent derivation.
+    std::unordered_map<OpId, OpFacts> facts = DeriveFacts(dag, root);
+    PropertyTracker tracker(&dag);
+    for (OpId id : order) {
+      const ColProps& claimed = tracker.Get(id);
+      OpFacts claim;
+      claim.constant = claimed.constant;
+      claim.arbitrary = claimed.arbitrary;
+      EXRQUY_RETURN_IF_ERROR(CheckClaims(dag, id, claim, facts.at(id)));
+    }
+    // The column dependency analysis must only ever demand columns the
+    // operator produces — otherwise CDA pruning has deleted (or could
+    // delete) a live column.
+    ColSet seed;
+    for (ColId c : {col::iter(), col::pos(), col::item()}) {
+      if (dag.op(root).HasCol(c)) seed.insert(c);
+    }
+    std::unordered_map<OpId, ColSet> icols = ComputeICols(dag, root, seed);
+    for (OpId id : order) {
+      auto it = icols.find(id);
+      if (it == icols.end()) continue;
+      for (ColId c : it->second) {
+        if (!dag.op(id).HasCol(c)) {
+          return Fail(dag, id, "live-column",
+                      "dependency analysis requires column '" + ColName(c) +
+                          "' which the operator cannot produce");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace exrquy

@@ -1,0 +1,83 @@
+// Static plan verification: a single-pass well-formedness and property
+// checker over the algebra DAG. The optimizer's rewrites (column pruning,
+// % weakening, distinct elimination, step merging) are only trustworthy
+// if every intermediate plan stays well-formed, so the verifier checks
+// three layers of invariants and reports the first violation as a
+// Status (never UB or a CHECK abort):
+//
+//  (1) structure   — every edge points to an existing, *earlier* operator
+//                    (acyclicity is a local property of the id order),
+//                    kNoOp never appears as a child, per-kind child
+//                    arity holds, and the node-constructor sharing
+//                    exemption actually holds (distinct constructor ids);
+//  (2) schema      — each operator references only columns its inputs
+//                    produce, produces no duplicate output column, kNoCol
+//                    never escapes into a schema or a column reference,
+//                    per-FunKind arities and per-Aggr argument rules
+//                    hold, and the stored schema matches an independent
+//                    re-derivation;
+//  (3) properties  — the constant/arbitrary-order claims made by
+//                    PropertyTracker (which license % weakening) are
+//                    cross-checked against an independently derived
+//                    fact base (OpFacts: constants, order-meaningless
+//                    columns, keys, cardinality bounds), and the column
+//                    dependency analysis never demands a column an
+//                    operator cannot produce (so CDA pruning can never
+//                    have deleted a live column).
+//
+// Diagnostics are stable and test-assertable:
+//   plan verifier: [<invariant>] op <id> (<OpKind>): <detail>
+#ifndef EXRQUY_OPT_VERIFY_H_
+#define EXRQUY_OPT_VERIFY_H_
+
+#include <unordered_map>
+
+#include "algebra/algebra.h"
+#include "common/status.h"
+#include "opt/icols.h"
+
+namespace exrquy {
+
+// Structural invariants (layer 1) are always checked — they are the
+// precondition for walking the DAG at all; the flags gate the layers on
+// top of them.
+struct VerifyOptions {
+  bool check_schema = true;
+  // Re-derives column properties and cross-checks PropertyTracker and
+  // ComputeICols. Slightly more expensive (still one pass per analysis);
+  // the per-pass pipeline hook runs with this on.
+  bool check_properties = true;
+};
+
+// Independently derived facts about one operator's output, used to audit
+// the optimizer's property claims. All sets are sound under-approximations
+// (a column listed as constant *is* constant in every model).
+struct OpFacts {
+  ColSet constant;    // every row holds the same value
+  ColSet arbitrary;   // relative order carries no semantic information
+  ColSet keys;        // no two rows share a value (row-identifying)
+  bool at_most_one_row = false;
+  bool no_rows = false;  // statically empty (e.g. a 0-row literal)
+};
+
+// Bottom-up derivation of OpFacts for every operator reachable from
+// `root`. Requires a structurally and schema-wise valid plan.
+std::unordered_map<OpId, OpFacts> DeriveFacts(const Dag& dag, OpId root);
+
+// Checks a set of claimed properties for `id` against independently
+// derived facts: every claimed column must exist in the operator's
+// schema and be derivable. Returns the first violation as a
+// "[property-claim]" diagnostic.
+Status CheckClaims(const Dag& dag, OpId id, const OpFacts& claimed,
+                   const OpFacts& derived);
+
+// Verifies the sub-plan rooted at `root`. Cheap: one pass per enabled
+// analysis over the reachable sub-DAG, no allocation proportional to the
+// data. Safe to call on arbitrarily malformed DAGs (including cyclic
+// edges and out-of-range ids).
+Status VerifyPlan(const Dag& dag, OpId root,
+                  const VerifyOptions& options = {});
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_OPT_VERIFY_H_

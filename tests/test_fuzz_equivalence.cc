@@ -147,6 +147,12 @@ TEST_P(FuzzEquivalenceTest, ConfigurationsAgree) {
   QueryOptions exploit_ordered;
   QueryOptions exploit_unordered;
   exploit_unordered.default_ordering = OrderingMode::kUnordered;
+  // Fuzzed plans double as verifier input: every optimizer pass over
+  // every generated query is statically checked (opt/verify.h); a
+  // rewrite breaking an invariant fails the run with a named diagnostic
+  // rather than (possibly) a silently wrong answer.
+  exploit_ordered.verify_each_pass = true;
+  exploit_unordered.verify_each_pass = true;
 
   int executed = 0;
   for (int i = 0; i < 40; ++i) {

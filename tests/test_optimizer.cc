@@ -44,7 +44,10 @@ class OptimizerTest : public ::testing::Test {
   OpId Opt(OpId root, RewriteOptions rewrites = {}) {
     OptimizeOptions options;
     options.rewrites = rewrites;
-    return Optimize(&dag_, root, options);
+    options.verify_each_pass = true;  // exercise the checker everywhere
+    Result<OpId> opt = Optimize(&dag_, root, options);
+    EXPECT_TRUE(opt.ok()) << opt.status().ToString();
+    return opt.ok() ? *opt : root;
   }
 
   Dag dag_;
@@ -290,7 +293,7 @@ TEST_F(OptimizerTest, DisabledPipelineIsIdentity) {
   OpId rn = dag_.RowNum(l, ColSym("x11"), {{pos(), false}}, kNoCol);
   OptimizeOptions options;
   options.enable = false;
-  EXPECT_EQ(Optimize(&dag_, rn, options), rn);
+  EXPECT_EQ(*Optimize(&dag_, rn, options), rn);
 }
 
 TEST_F(OptimizerTest, EmptyUnionBranchRemoved) {
