@@ -114,6 +114,9 @@ Result<QueryResult> Session::Execute(std::string_view query,
   ctx.strings = &strings_;
   ctx.documents = documents_;
   ctx.detect_sorted_inputs = options.physical_sort_detection;
+  ctx.num_threads = options.num_threads;
+  ctx.chunk_rows = options.chunk_rows;
+  ctx.release_intermediates = options.release_intermediates;
   if (options.profile) ctx.profile = &result.profile;
 
   Clock::time_point t1 = Clock::now();

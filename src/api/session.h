@@ -60,6 +60,13 @@ struct QueryOptions {
 
   // Record a per-operator execution profile (Table 2).
   bool profile = false;
+
+  // Execution-engine knobs (engine/eval.h EvalContext). num_threads = 1
+  // forces the exact serial evaluation order; 0 defers to EXRQUY_THREADS
+  // or the hardware. Results are byte-identical for every setting.
+  int num_threads = 0;
+  size_t chunk_rows = 65536;
+  bool release_intermediates = true;
 };
 
 struct QueryResult {

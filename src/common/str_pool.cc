@@ -4,25 +4,44 @@
 
 namespace exrquy {
 
-StrPool::StrPool() {
+StrPool::StrPool()
+    : chunks_(new std::atomic<std::string*>[kMaxChunks]()) {
   StrId id = Intern("");
   EXRQUY_CHECK(id == kEmpty);
 }
 
+StrPool::~StrPool() {
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
+}
+
 StrId StrPool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
-  StrId id = static_cast<StrId>(strings_.size());
+  size_t n = size_.load(std::memory_order_relaxed);
+  EXRQUY_CHECK(n < kMaxChunks * kChunkSize);
+  size_t chunk = n >> kChunkShift;
+  std::string* block = chunks_[chunk].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new std::string[kChunkSize];
+    chunks_[chunk].store(block, std::memory_order_release);
+  }
   // Store the string first; the string_view key aliases the stored copy,
-  // whose address is stable because strings_ is a deque.
-  strings_.emplace_back(s);
-  index_.emplace(std::string_view(strings_.back()), id);
+  // whose address is stable because chunks never move or shrink.
+  block[n & (kChunkSize - 1)] = std::string(s);
+  StrId id = static_cast<StrId>(n);
+  index_.emplace(std::string_view(block[n & (kChunkSize - 1)]), id);
+  size_.store(n + 1, std::memory_order_release);
   return id;
 }
 
 const std::string& StrPool::Get(StrId id) const {
-  EXRQUY_DCHECK(id < strings_.size());
-  return strings_[id];
+  EXRQUY_DCHECK(id < size_.load(std::memory_order_acquire));
+  const std::string* block =
+      chunks_[id >> kChunkShift].load(std::memory_order_acquire);
+  return block[id & (kChunkSize - 1)];
 }
 
 }  // namespace exrquy

@@ -2,11 +2,19 @@
 // string items are stored once and referred to by dense 32-bit ids, which
 // keeps the columnar engine's values fixed-width (MonetDB does the same
 // with its string heaps).
+//
+// The pool is thread-safe: Intern serializes writers behind a mutex,
+// while Get is wait-free — strings live in fixed-size chunks whose
+// addresses never change, so concurrent growth cannot invalidate a
+// reader. Parallel operator kernels hit Get on every string comparison,
+// which is why it must not take the writers' lock.
 #ifndef EXRQUY_COMMON_STR_POOL_H_
 #define EXRQUY_COMMON_STR_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,26 +26,37 @@ using StrId = uint32_t;
 class StrPool {
  public:
   StrPool();
+  ~StrPool();
 
   StrPool(const StrPool&) = delete;
   StrPool& operator=(const StrPool&) = delete;
 
   // Interns `s`, returning its dense id. Identical strings share an id.
+  // Safe to call from multiple threads; the id ordering between
+  // concurrent first-time interns is unspecified (never observable in
+  // results: all value comparisons go through string contents).
   StrId Intern(std::string_view s);
 
   // Returns the string for `id`. The reference is stable for the lifetime
-  // of the pool.
+  // of the pool. Wait-free; safe concurrently with Intern.
   const std::string& Get(StrId id) const;
 
   // Id of the empty string (always 0).
   static constexpr StrId kEmpty = 0;
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
-  // deque: element addresses are stable under growth, so the string_view
-  // keys of index_ (which alias the stored strings) never dangle.
-  std::deque<std::string> strings_;
+  static constexpr size_t kChunkShift = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;  // 4096
+  static constexpr size_t kMaxChunks = size_t{1} << 14;  // 64M strings
+
+  // chunks_[c] is null until the pool grows into chunk c, then an
+  // immovable array of kChunkSize strings.
+  std::unique_ptr<std::atomic<std::string*>[]> chunks_;
+  std::atomic<size_t> size_{0};
+
+  std::mutex mu_;  // guards index_ and growth
   std::unordered_map<std::string_view, StrId> index_;
 };
 

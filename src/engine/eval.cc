@@ -4,11 +4,14 @@
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "opt/icols.h"
 #include "opt/verify.h"
 #include "xml/serializer.h"
 #include "xml/step.h"
@@ -21,6 +24,34 @@ using Clock = std::chrono::steady_clock;
 double MsSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+// Resolves EvalContext::num_threads: explicit > EXRQUY_THREADS > hardware.
+size_t ResolveThreads(int requested) {
+  int v = requested;
+  if (v <= 0) {
+    if (const char* env = std::getenv("EXRQUY_THREADS")) v = std::atoi(env);
+  }
+  if (v <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    v = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return static_cast<size_t>(std::min(v, 256));
+}
+
+// Node constructors append to the NodeStore; NodeIdx values are allocation
+// -ordered, so these operators must run in the same order as the serial
+// engine (ascending op id) for results to be byte-identical.
+bool IsNodeConstructor(OpKind k) {
+  return k == OpKind::kElem || k == OpKind::kAttr || k == OpKind::kTextNode;
+}
+
+// Where the running operator task reports its chunk count (set around
+// EvalOp; chunked kernels run on the same thread as their dispatch).
+thread_local size_t* tls_chunks = nullptr;
+
+void NoteChunks(size_t chunks) {
+  if (tls_chunks != nullptr) *tls_chunks = std::max(*tls_chunks, chunks);
 }
 
 // Hash of one row over the given column pointers.
@@ -40,21 +71,8 @@ bool RowEquals(const std::vector<const Column*>& a, size_t ra,
   return true;
 }
 
-// Materializes the given rows of `in` into a new table.
-TablePtr GatherRows(const Table& in, const std::vector<uint32_t>& rows) {
-  auto out = std::make_shared<Table>();
-  for (ColId c : in.schema()) {
-    Column col;
-    col.reserve(rows.size());
-    const Column& src = in.col(c);
-    for (uint32_t r : rows) col.push_back(src[r]);
-    out->AddColumn(c, std::move(col));
-  }
-  out->SetRows(rows.size());
-  return out;
-}
-
-// Simple open hash table from row keys to row indices.
+// Simple open hash table from row keys to row indices. Built once,
+// read-only afterwards — probing from concurrent chunk tasks is safe.
 class RowIndex {
  public:
   RowIndex(std::vector<const Column*> key_cols, size_t rows)
@@ -96,10 +114,66 @@ std::vector<const Column*> ColPtrs(const Table& t,
   return out;
 }
 
+// Concatenates per-chunk row lists in chunk order — the order a serial
+// scan would have produced them in.
+std::vector<uint32_t> ConcatChunks(
+    const std::vector<std::vector<uint32_t>>& parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<uint32_t> rows;
+  rows.reserve(total);
+  for (const auto& p : parts) rows.insert(rows.end(), p.begin(), p.end());
+  return rows;
+}
+
+constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
 }  // namespace
 
+// Per-Eval scheduler state. Operators are addressed by their dense slot in
+// the topological order; `pending` counts unfinished children (plus the
+// constructor-chain edge), `consumers` counts unfinished parents (plus one
+// for the root, whose table outlives the evaluation).
+struct Evaluator::Sched {
+  explicit Sched(size_t n)
+      : ops(n, nullptr),
+        memo(n),
+        pending(std::make_unique<std::atomic<uint32_t>[]>(n)),
+        consumers(std::make_unique<std::atomic<uint32_t>[]>(n)),
+        parents(n),
+        ctor_next(n, kNoSlot),
+        ready_at(n),
+        remaining(n) {}
+
+  std::vector<OpId> ids;                  // slot -> op id (ascending)
+  std::unordered_map<OpId, size_t> slot;  // op id -> slot
+  std::vector<const Op*> ops;
+  std::vector<TablePtr> memo;
+  std::unique_ptr<std::atomic<uint32_t>[]> pending;
+  std::unique_ptr<std::atomic<uint32_t>[]> consumers;
+  std::vector<std::vector<size_t>> parents;  // per edge (duplicates kept)
+  std::vector<size_t> ctor_next;  // next constructor slot in the chain
+  std::vector<Clock::time_point> ready_at;
+  bool release = false;
+  bool track = false;
+
+  // First error by op id — the operator the serial engine would have
+  // failed on first (among those that ran before cancellation).
+  std::atomic<bool> cancelled{false};
+  std::mutex err_mu;
+  OpId err_op = kNoOp;
+  Status err;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining;
+};
+
 Evaluator::Evaluator(const Dag& dag, EvalContext* ctx)
-    : dag_(dag), ctx_(ctx), ops_(ctx->strings, ctx->store) {}
+    : dag_(dag),
+      ctx_(ctx),
+      ops_(ctx->strings, ctx->store),
+      chunk_rows_(std::max<size_t>(1, ctx->chunk_rows)) {}
 
 Result<TablePtr> Evaluator::Eval(OpId root) {
   // A malformed plan (hand-built, or produced by a buggy rewrite that
@@ -110,25 +184,321 @@ Result<TablePtr> Evaluator::Eval(OpId root) {
   guard.check_properties = false;
   EXRQUY_RETURN_IF_ERROR(VerifyPlan(dag_, root, guard));
 
-  // Bottom-up over the reachable sub-DAG: each operator evaluated once,
-  // shared sub-plans reused (full materialization, MonetDB style).
-  for (OpId id : dag_.ReachableFrom(root)) {
-    if (memo_.count(id) != 0) continue;
-    const Op& op = dag_.op(id);
-    Clock::time_point start = Clock::now();
-    EXRQUY_ASSIGN_OR_RETURN(TablePtr t, EvalOp(op));
-    if (ctx_->profile != nullptr) {
-      ctx_->profile->Record(op, MsSince(start), t->rows());
-    }
-    memo_[id] = std::move(t);
+  std::vector<OpId> order = dag_.ReachableFrom(root);
+  size_t threads = ResolveThreads(ctx_->num_threads);
+  if (ctx_->profile != nullptr) {
+    ctx_->profile->SetExecution(threads, ctx_->release_intermediates);
   }
-  return memo_.at(root);
+  Result<TablePtr> result = threads <= 1 ? EvalSerial(order, root)
+                                         : EvalParallel(order, root, threads);
+  if (ctx_->profile != nullptr) {
+    ctx_->profile->SetMemory(peak_live_bytes_, live_bytes_, released_tables_);
+  }
+  return result;
 }
 
-Result<TablePtr> Evaluator::EvalOp(const Op& op) {
-  auto child = [&](size_t i) -> const Table& {
-    return *memo_.at(op.children[i]);
+void Evaluator::TrackTable(const Table& t) {
+  for (ColId c : t.schema()) {
+    const Column* p = t.col_ptr(c).get();
+    if (++live_cols_[p] == 1) live_bytes_ += p->size() * sizeof(Value);
+  }
+  peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes_);
+}
+
+void Evaluator::UntrackTable(const Table& t) {
+  for (ColId c : t.schema()) {
+    const Column* p = t.col_ptr(c).get();
+    auto it = live_cols_.find(p);
+    if (it != live_cols_.end() && --it->second == 0) {
+      live_bytes_ -= p->size() * sizeof(Value);
+      live_cols_.erase(it);
+    }
+  }
+}
+
+Result<TablePtr> Evaluator::EvalSerial(const std::vector<OpId>& order,
+                                       OpId root) {
+  // Bottom-up over the reachable sub-DAG: each operator evaluated once,
+  // shared sub-plans reused (full materialization, MonetDB style).
+  std::unordered_map<OpId, TablePtr> memo;
+  std::unordered_map<OpId, uint32_t> consumers;
+  const bool release = ctx_->release_intermediates;
+  if (release) consumers = ConsumerCounts(dag_, root);
+
+  for (OpId id : order) {
+    const Op& op = dag_.op(id);
+    std::vector<TablePtr> in;
+    in.reserve(op.children.size());
+    size_t in_rows = 0;
+    for (OpId c : op.children) {
+      in.push_back(memo.at(c));
+      in_rows += in.back()->rows();
+    }
+    size_t chunks = 1;
+    tls_chunks = &chunks;
+    Clock::time_point start = Clock::now();
+    Result<TablePtr> r = EvalOp(op, in);
+    double ms = MsSince(start);
+    tls_chunks = nullptr;
+    if (!r.ok()) return r.status();
+    TablePtr t = std::move(r).value();
+    if (ctx_->profile != nullptr) {
+      Profile::OpMetrics m;
+      m.op = id;
+      m.ms = ms;
+      m.in_rows = in_rows;
+      m.out_rows = t->rows();
+      m.chunks = chunks;
+      ctx_->profile->Record(op, std::move(m));
+    }
+    TrackTable(*t);
+    memo[id] = std::move(t);
+    if (release) {
+      in.clear();  // drop the extra references before releasing
+      for (OpId c : op.children) {
+        auto it = consumers.find(c);
+        if (it != consumers.end() && --it->second == 0) {
+          auto mit = memo.find(c);
+          UntrackTable(*mit->second);
+          memo.erase(mit);
+          ++released_tables_;
+        }
+      }
+    }
+  }
+  return memo.at(root);
+}
+
+Result<TablePtr> Evaluator::EvalParallel(const std::vector<OpId>& order,
+                                         OpId root, size_t threads) {
+  const size_t n = order.size();
+  Sched s(n);
+  s.ids = order;
+  s.slot.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) s.slot.emplace(order[i], i);
+  for (size_t i = 0; i < n; ++i) {
+    const Op& op = dag_.op(order[i]);
+    s.ops[i] = &op;
+    s.pending[i].store(static_cast<uint32_t>(op.children.size()),
+                       std::memory_order_relaxed);
+    for (OpId c : op.children) {
+      size_t cs = s.slot.at(c);
+      s.parents[cs].push_back(i);
+      s.consumers[cs].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  s.consumers[s.slot.at(root)].fetch_add(1, std::memory_order_relaxed);
+
+  // Chain node constructors in ascending op-id order: each waits for the
+  // previous one, so NodeStore allocation order matches serial execution.
+  size_t prev_ctor = kNoSlot;
+  for (size_t i = 0; i < n; ++i) {
+    if (!IsNodeConstructor(s.ops[i]->kind)) continue;
+    if (prev_ctor != kNoSlot) {
+      s.ctor_next[prev_ctor] = i;
+      s.pending[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    prev_ctor = i;
+  }
+  s.release = ctx_->release_intermediates;
+  s.track = ctx_->profile != nullptr;
+
+  // Snapshot the initially-ready set before any task runs: once workers
+  // start, they decrement pending counts concurrently, and re-reading
+  // them here could observe a drop to zero and submit an op twice.
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (s.pending[i].load(std::memory_order_relaxed) == 0) ready.push_back(i);
+  }
+  pool_ = std::make_unique<TaskPool>(threads);
+  Sched* sp = &s;
+  Clock::time_point t0 = Clock::now();
+  for (size_t i : ready) {
+    s.ready_at[i] = t0;
+    pool_->Submit([this, sp, i] { RunTask(sp, i); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(s.done_mu);
+    s.done_cv.wait(lock, [&] { return s.remaining == 0; });
+  }
+  pool_.reset();  // joins the workers; nothing touches `s` afterwards
+
+  if (s.err_op != kNoOp) return s.err;
+  return s.memo[s.slot.at(root)];
+}
+
+void Evaluator::RunTask(Sched* s, size_t i) {
+  const Op& op = *s->ops[i];
+  if (s->cancelled.load(std::memory_order_acquire)) {
+    FinishTask(s, i);
+    return;
+  }
+  std::vector<TablePtr> in;
+  in.reserve(op.children.size());
+  size_t in_rows = 0;
+  for (OpId c : op.children) {
+    const TablePtr& t = s->memo[s->slot.at(c)];
+    in.push_back(t);
+    in_rows += t->rows();
+  }
+  double queue_ms = MsSince(s->ready_at[i]);
+  size_t chunks = 1;
+  tls_chunks = &chunks;
+  Clock::time_point start = Clock::now();
+  Result<TablePtr> r = [&]() -> Result<TablePtr> {
+    if (IsNodeConstructor(op.kind)) {
+      std::unique_lock<std::shared_mutex> lock(store_mu_);
+      return EvalOp(op, in);
+    }
+    std::shared_lock<std::shared_mutex> lock(store_mu_);
+    return EvalOp(op, in);
+  }();
+  double ms = MsSince(start);
+  tls_chunks = nullptr;
+  in.clear();
+
+  if (!r.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(s->err_mu);
+      if (s->err_op == kNoOp || s->ids[i] < s->err_op) {
+        s->err_op = s->ids[i];
+        s->err = r.status();
+      }
+    }
+    s->cancelled.store(true, std::memory_order_release);
+  } else {
+    TablePtr t = std::move(r).value();
+    {
+      std::lock_guard<std::mutex> lock(profile_mu_);
+      if (s->track) {
+        Profile::OpMetrics m;
+        m.op = s->ids[i];
+        m.ms = ms;
+        m.queue_ms = queue_ms;
+        m.in_rows = in_rows;
+        m.out_rows = t->rows();
+        m.chunks = chunks;
+        ctx_->profile->Record(op, std::move(m));
+      }
+      TrackTable(*t);
+    }
+    s->memo[i] = std::move(t);  // published by the pending decrements below
+  }
+  FinishTask(s, i);
+}
+
+void Evaluator::FinishTask(Sched* s, size_t i) {
+  const Op& op = *s->ops[i];
+  if (s->release) {
+    for (OpId c : op.children) {
+      size_t cs = s->slot.at(c);
+      if (s->consumers[cs].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        TablePtr dead = std::move(s->memo[cs]);
+        if (dead != nullptr) {
+          std::lock_guard<std::mutex> lock(profile_mu_);
+          UntrackTable(*dead);
+          ++released_tables_;
+        }
+      }
+    }
+  }
+  if (s->ctor_next[i] != kNoSlot) DecrementPending(s, s->ctor_next[i]);
+  for (size_t p : s->parents[i]) DecrementPending(s, p);
+  {
+    std::lock_guard<std::mutex> lock(s->done_mu);
+    if (--s->remaining == 0) s->done_cv.notify_all();
+  }
+}
+
+void Evaluator::DecrementPending(Sched* s, size_t i) {
+  if (s->pending[i].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    s->ready_at[i] = Clock::now();
+    pool_->Submit([this, s, i] { RunTask(s, i); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk helpers.
+
+size_t Evaluator::NumChunks(size_t n) const {
+  return n == 0 ? 1 : (n + chunk_rows_ - 1) / chunk_rows_;
+}
+
+size_t Evaluator::ForChunks(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  size_t chunks = NumChunks(n);
+  auto run = [&](size_t c) {
+    size_t begin = c * chunk_rows_;
+    fn(c, begin, std::min(n, begin + chunk_rows_));
   };
+  if (pool_ == nullptr || pool_->threads() == 0 || chunks == 1) {
+    for (size_t c = 0; c < chunks; ++c) run(c);
+  } else {
+    pool_->ParallelFor(chunks, run);
+  }
+  NoteChunks(chunks);
+  return chunks;
+}
+
+TablePtr Evaluator::GatherParallel(const Table& in,
+                                   const std::vector<uint32_t>& rows) {
+  size_t n = rows.size();
+  auto out = std::make_shared<Table>();
+  for (ColId c : in.schema()) {
+    const Column& src = in.col(c);
+    Column col(n);
+    ForChunks(n, [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) col[i] = src[rows[i]];
+    });
+    out->AddColumn(c, std::move(col));
+  }
+  out->SetRows(n);
+  return out;
+}
+
+void Evaluator::ParallelStableSort(
+    std::vector<uint32_t>* perm,
+    const std::function<bool(uint32_t, uint32_t)>& less) {
+  size_t n = perm->size();
+  size_t chunks = NumChunks(n);
+  if (chunks <= 1 || pool_ == nullptr || pool_->threads() == 0) {
+    std::stable_sort(perm->begin(), perm->end(), less);
+    return;
+  }
+  // Stable-sort each chunk, then stably merge chunk pairs bottom-up.
+  // std::merge prefers the left range on ties, so the result is the
+  // unique stable ordering — byte-identical to one big stable_sort.
+  ForChunks(n, [&](size_t, size_t begin, size_t end) {
+    std::stable_sort(perm->begin() + begin, perm->begin() + end, less);
+  });
+  std::vector<uint32_t> buf(n);
+  std::vector<uint32_t>* src = perm;
+  std::vector<uint32_t>* dst = &buf;
+  for (size_t width = chunk_rows_; width < n; width *= 2) {
+    size_t pairs = (n + 2 * width - 1) / (2 * width);
+    auto merge_pair = [&](size_t p) {
+      size_t lo = p * 2 * width;
+      size_t mid = std::min(n, lo + width);
+      size_t hi = std::min(n, lo + 2 * width);
+      std::merge(src->begin() + lo, src->begin() + mid, src->begin() + mid,
+                 src->begin() + hi, dst->begin() + lo, less);
+    };
+    if (pairs > 1) {
+      pool_->ParallelFor(pairs, merge_pair);
+    } else {
+      merge_pair(0);
+    }
+    std::swap(src, dst);
+  }
+  if (src != perm) *perm = *src;
+}
+
+// ---------------------------------------------------------------------------
+// Operator kernels.
+
+Result<TablePtr> Evaluator::EvalOp(const Op& op,
+                                   const std::vector<TablePtr>& in) {
+  auto child = [&](size_t i) -> const Table& { return *in[i]; };
   switch (op.kind) {
     case OpKind::kLit:
       return EvalLit(op);
@@ -246,20 +616,30 @@ Result<TablePtr> Evaluator::EvalProject(const Op& op, const Table& in) {
 
 Result<TablePtr> Evaluator::EvalSelect(const Op& op, const Table& in) {
   const Column& flags = in.col(op.col);
-  std::vector<uint32_t> rows;
-  for (size_t r = 0; r < in.rows(); ++r) {
-    const Value& v = flags[r];
-    if (v.kind != ValueKind::kBool) {
-      return TypeError("selection column is not boolean");
+  size_t n = in.rows();
+  std::vector<std::vector<uint32_t>> parts(NumChunks(n));
+  std::vector<uint8_t> bad(parts.size(), 0);
+  ForChunks(n, [&](size_t c, size_t begin, size_t end) {
+    std::vector<uint32_t>& rows = parts[c];
+    for (size_t r = begin; r < end; ++r) {
+      const Value& v = flags[r];
+      if (v.kind != ValueKind::kBool) {
+        bad[c] = 1;
+        return;
+      }
+      if (v.b) rows.push_back(static_cast<uint32_t>(r));
     }
-    if (v.b) rows.push_back(static_cast<uint32_t>(r));
+  });
+  for (uint8_t b : bad) {
+    if (b != 0) return TypeError("selection column is not boolean");
   }
-  return GatherRows(in, rows);
+  return GatherParallel(in, ConcatChunks(parts));
 }
 
 Result<TablePtr> Evaluator::EvalEquiJoin(const Op& op, const Table& l,
                                          const Table& r) {
-  // Build on the smaller side, probe with the larger.
+  // Build on the smaller side, probe with the larger — chunk-parallel
+  // over the probe side, matches concatenated in probe-row order.
   bool build_right = r.rows() <= l.rows();
   const Table& build = build_right ? r : l;
   const Table& probe = build_right ? l : r;
@@ -268,33 +648,38 @@ Result<TablePtr> Evaluator::EvalEquiJoin(const Op& op, const Table& l,
 
   RowIndex index({&build.col(build_col)}, build.rows());
   std::vector<const Column*> probe_key = {&probe.col(probe_col)};
-  std::vector<uint32_t> probe_rows;
-  std::vector<uint32_t> build_rows;
-  for (size_t pr = 0; pr < probe.rows(); ++pr) {
-    index.ForEachMatch(probe_key, pr, [&](uint32_t br) {
-      probe_rows.push_back(static_cast<uint32_t>(pr));
-      build_rows.push_back(br);
-    });
-  }
+  size_t n = probe.rows();
+  std::vector<std::vector<uint32_t>> probe_parts(NumChunks(n));
+  std::vector<std::vector<uint32_t>> build_parts(probe_parts.size());
+  ForChunks(n, [&](size_t c, size_t begin, size_t end) {
+    for (size_t pr = begin; pr < end; ++pr) {
+      index.ForEachMatch(probe_key, pr, [&](uint32_t br) {
+        probe_parts[c].push_back(static_cast<uint32_t>(pr));
+        build_parts[c].push_back(br);
+      });
+    }
+  });
+  std::vector<uint32_t> probe_rows = ConcatChunks(probe_parts);
+  std::vector<uint32_t> build_rows = ConcatChunks(build_parts);
   const std::vector<uint32_t>& l_rows = build_right ? probe_rows : build_rows;
   const std::vector<uint32_t>& r_rows = build_right ? build_rows : probe_rows;
 
+  size_t out_n = probe_rows.size();
   auto out = std::make_shared<Table>();
-  for (ColId c : l.schema()) {
-    Column col;
-    col.reserve(l_rows.size());
-    const Column& src = l.col(c);
-    for (uint32_t row : l_rows) col.push_back(src[row]);
-    out->AddColumn(c, std::move(col));
-  }
-  for (ColId c : r.schema()) {
-    Column col;
-    col.reserve(r_rows.size());
-    const Column& src = r.col(c);
-    for (uint32_t row : r_rows) col.push_back(src[row]);
-    out->AddColumn(c, std::move(col));
-  }
-  out->SetRows(l_rows.size());
+  auto gather_side = [&](const Table& side,
+                         const std::vector<uint32_t>& rows) {
+    for (ColId c : side.schema()) {
+      const Column& src = side.col(c);
+      Column col(out_n);
+      ForChunks(out_n, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) col[i] = src[rows[i]];
+      });
+      out->AddColumn(c, std::move(col));
+    }
+  };
+  gather_side(l, l_rows);
+  gather_side(r, r_rows);
+  out->SetRows(out_n);
   return out;
 }
 
@@ -328,17 +713,23 @@ Result<TablePtr> Evaluator::EvalCross(const Op& op, const Table& l,
 Result<TablePtr> Evaluator::EvalUnion(const Op& op, const Table& l,
                                       const Table& r) {
   (void)op;
+  size_t nl = l.rows();
+  size_t nr = r.rows();
   auto out = std::make_shared<Table>();
   for (ColId c : l.schema()) {
-    Column col;
-    col.reserve(l.rows() + r.rows());
     const Column& lc = l.col(c);
-    col.insert(col.end(), lc.begin(), lc.end());
     const Column& rc = r.col(c);
-    col.insert(col.end(), rc.begin(), rc.end());
+    Column col(nl + nr);
+    ForChunks(nl, [&](size_t, size_t begin, size_t end) {
+      std::copy(lc.begin() + begin, lc.begin() + end, col.begin() + begin);
+    });
+    ForChunks(nr, [&](size_t, size_t begin, size_t end) {
+      std::copy(rc.begin() + begin, rc.begin() + end,
+                col.begin() + nl + begin);
+    });
     out->AddColumn(c, std::move(col));
   }
-  out->SetRows(l.rows() + r.rows());
+  out->SetRows(nl + nr);
   return out;
 }
 
@@ -347,13 +738,16 @@ Result<TablePtr> Evaluator::EvalDiffSemi(const Op& op, const Table& l,
   RowIndex index(ColPtrs(r, op.keys), r.rows());
   std::vector<const Column*> probe = ColPtrs(l, op.keys);
   bool keep_matching = op.kind == OpKind::kSemiJoin;
-  std::vector<uint32_t> rows;
-  for (size_t i = 0; i < l.rows(); ++i) {
-    if (index.Contains(probe, i) == keep_matching) {
-      rows.push_back(static_cast<uint32_t>(i));
+  size_t n = l.rows();
+  std::vector<std::vector<uint32_t>> parts(NumChunks(n));
+  ForChunks(n, [&](size_t c, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (index.Contains(probe, i) == keep_matching) {
+        parts[c].push_back(static_cast<uint32_t>(i));
+      }
     }
-  }
-  return GatherRows(l, rows);
+  });
+  return GatherParallel(l, ConcatChunks(parts));
 }
 
 Result<TablePtr> Evaluator::EvalDistinct(const Op& op, const Table& in) {
@@ -376,7 +770,7 @@ Result<TablePtr> Evaluator::EvalDistinct(const Op& op, const Table& in) {
       rows.push_back(static_cast<uint32_t>(r));
     }
   }
-  return GatherRows(in, rows);
+  return GatherParallel(in, rows);
 }
 
 Result<TablePtr> Evaluator::EvalRowNum(const Op& op, const Table& in) {
@@ -406,11 +800,13 @@ Result<TablePtr> Evaluator::EvalRowNum(const Op& op, const Table& in) {
       std::is_sorted(perm.begin(), perm.end(), less)) {
     // Physical order detection: the input already carries the requested
     // order, so the blocking sort degenerates to a scan.
-    ++ctx_->sorts_skipped;
+    ctx_->sorts_skipped.fetch_add(1, std::memory_order_relaxed);
   } else {
-    std::stable_sort(perm.begin(), perm.end(), less);
+    ParallelStableSort(&perm, less);
   }
 
+  // Rank assignment carries a sequential dependency across group
+  // boundaries — kept serial.
   Column ranks(n);
   int64_t rank = 0;
   for (size_t i = 0; i < n; ++i) {
@@ -431,15 +827,17 @@ Result<TablePtr> Evaluator::EvalRowNum(const Op& op, const Table& in) {
 
 Result<TablePtr> Evaluator::EvalRowId(const Op& op, const Table& in) {
   // # — arbitrary unique numbers at negligible cost (a ROWID column).
-  Column ids;
-  ids.reserve(in.rows());
-  for (size_t r = 0; r < in.rows(); ++r) {
-    ids.push_back(Value::Int(static_cast<int64_t>(r) + 1));
-  }
+  size_t n = in.rows();
+  Column ids(n);
+  ForChunks(n, [&](size_t, size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      ids[r] = Value::Int(static_cast<int64_t>(r) + 1);
+    }
+  });
   auto out = std::make_shared<Table>();
   for (ColId c : in.schema()) out->AddColumn(c, in.col_ptr(c));
   out->AddColumn(op.col, std::move(ids));
-  out->SetRows(in.rows());
+  out->SetRows(n);
   return out;
 }
 
@@ -622,16 +1020,28 @@ Result<Value> Evaluator::ApplyFun(const Op& op,
 
 Result<TablePtr> Evaluator::EvalFun(const Op& op, const Table& in) {
   std::vector<const Column*> args = ColPtrs(in, op.args);
-  Column result;
-  result.reserve(in.rows());
-  for (size_t r = 0; r < in.rows(); ++r) {
-    EXRQUY_ASSIGN_OR_RETURN(Value v, ApplyFun(op, args, r));
-    result.push_back(v);
+  size_t n = in.rows();
+  Column result(n);
+  std::vector<Status> errs(NumChunks(n));
+  ForChunks(n, [&](size_t c, size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      Result<Value> v = ApplyFun(op, args, r);
+      if (!v.ok()) {
+        // First error in the chunk == first error a serial scan of this
+        // chunk would hit; chunk order resolves the rest below.
+        errs[c] = v.status();
+        return;
+      }
+      result[r] = std::move(v).value();
+    }
+  });
+  for (const Status& st : errs) {
+    if (!st.ok()) return st;
   }
   auto out = std::make_shared<Table>();
   for (ColId c : in.schema()) out->AddColumn(c, in.col_ptr(c));
   out->AddColumn(op.col, std::move(result));
-  out->SetRows(in.rows());
+  out->SetRows(n);
   return out;
 }
 
@@ -783,35 +1193,80 @@ Result<TablePtr> Evaluator::EvalAggr(const Op& op, const Table& in) {
 Result<TablePtr> Evaluator::EvalStep(const Op& op, const Table& in) {
   const Column& iters = in.col(col::iter());
   const Column& items = in.col(col::item());
-  std::vector<int64_t> ctx_iters;
-  std::vector<NodeIdx> ctx_nodes;
-  ctx_iters.reserve(in.rows());
-  ctx_nodes.reserve(in.rows());
-  for (size_t r = 0; r < in.rows(); ++r) {
+  size_t n = in.rows();
+  for (size_t r = 0; r < n; ++r) {
     if (items[r].kind != ValueKind::kNode) {
       return TypeError(std::string("path step ") + AxisName(op.axis) +
                        ":: applied to a non-node item");
     }
     EXRQUY_DCHECK(iters[r].kind == ValueKind::kInt);
-    ctx_iters.push_back(iters[r].i);
-    ctx_nodes.push_back(items[r].node);
   }
+
   std::vector<int64_t> out_iters;
   std::vector<NodeIdx> out_nodes;
-  exrquy::EvalStep(*ctx_->store, op.axis, op.test, std::move(ctx_iters),
-                   std::move(ctx_nodes), &out_iters, &out_nodes);
-  Column ic;
-  Column nc;
-  ic.reserve(out_iters.size());
-  nc.reserve(out_nodes.size());
-  for (size_t i = 0; i < out_iters.size(); ++i) {
-    ic.push_back(Value::Int(out_iters[i]));
-    nc.push_back(Value::Node(out_nodes[i]));
+  size_t chunks = NumChunks(n);
+  if (chunks <= 1) {
+    std::vector<int64_t> ctx_iters;
+    std::vector<NodeIdx> ctx_nodes;
+    ctx_iters.reserve(n);
+    ctx_nodes.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      ctx_iters.push_back(iters[r].i);
+      ctx_nodes.push_back(items[r].node);
+    }
+    exrquy::EvalStep(*ctx_->store, op.axis, op.test, std::move(ctx_iters),
+                     std::move(ctx_nodes), &out_iters, &out_nodes);
+  } else {
+    // Each chunk evaluates its context subset independently; EvalStep
+    // output is the sorted duplicate-free (iter, node) result set, so
+    // concatenating the chunks, sorting and deduplicating reproduces the
+    // single-call result exactly.
+    std::vector<std::vector<int64_t>> chunk_iters(chunks);
+    std::vector<std::vector<NodeIdx>> chunk_nodes(chunks);
+    ForChunks(n, [&](size_t c, size_t begin, size_t end) {
+      std::vector<int64_t> ci;
+      std::vector<NodeIdx> cn;
+      ci.reserve(end - begin);
+      cn.reserve(end - begin);
+      for (size_t r = begin; r < end; ++r) {
+        ci.push_back(iters[r].i);
+        cn.push_back(items[r].node);
+      }
+      exrquy::EvalStep(*ctx_->store, op.axis, op.test, std::move(ci),
+                       std::move(cn), &chunk_iters[c], &chunk_nodes[c]);
+    });
+    std::vector<std::pair<int64_t, NodeIdx>> all;
+    size_t total = 0;
+    for (const auto& ci : chunk_iters) total += ci.size();
+    all.reserve(total);
+    for (size_t c = 0; c < chunks; ++c) {
+      for (size_t i = 0; i < chunk_iters[c].size(); ++i) {
+        all.emplace_back(chunk_iters[c][i], chunk_nodes[c][i]);
+      }
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    out_iters.reserve(all.size());
+    out_nodes.reserve(all.size());
+    for (const auto& [it, node] : all) {
+      out_iters.push_back(it);
+      out_nodes.push_back(node);
+    }
   }
+
+  size_t out_n = out_iters.size();
+  Column ic(out_n);
+  Column nc(out_n);
+  ForChunks(out_n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ic[i] = Value::Int(out_iters[i]);
+      nc[i] = Value::Node(out_nodes[i]);
+    }
+  });
   auto out = std::make_shared<Table>();
   out->AddColumn(col::iter(), std::move(ic));
   out->AddColumn(col::item(), std::move(nc));
-  out->SetRows(out_iters.size());
+  out->SetRows(out_n);
   return out;
 }
 

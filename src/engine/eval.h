@@ -1,12 +1,28 @@
-// Operator-at-a-time evaluation of algebra DAGs over columnar tables —
-// the stand-in for the MonetDB back-end of the paper. Every reachable
-// operator is evaluated exactly once (sub-plan sharing); % performs a
-// blocking sort while # attaches a dense numbering at negligible cost,
-// which is precisely the cost asymmetry the paper's rewrites exploit.
+// Evaluation of algebra DAGs over columnar tables — the stand-in for the
+// MonetDB back-end of the paper. Every reachable operator is evaluated
+// exactly once (sub-plan sharing); % performs a blocking sort while #
+// attaches a dense numbering at negligible cost, which is precisely the
+// cost asymmetry the paper's rewrites exploit.
+//
+// Execution is task-parallel: operators whose inputs are ready are
+// dispatched onto a fixed thread pool, and the hot kernels additionally
+// split large inputs into fixed-size row chunks processed on the same
+// pool. Chunk boundaries depend only on the input size, and chunk
+// results are concatenated (or stably merged) in chunk order, so results
+// are byte-identical to serial evaluation regardless of thread count.
+// Intermediate tables are refcounted against their remaining consumers
+// (opt/icols.h ConsumerCounts) and released as soon as the last consumer
+// has run, shrinking peak memory from the sum of all intermediates to
+// the live frontier of the DAG.
 #ifndef EXRQUY_ENGINE_EVAL_H_
 #define EXRQUY_ENGINE_EVAL_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +30,7 @@
 #include "common/status.h"
 #include "engine/profile.h"
 #include "engine/table.h"
+#include "engine/task_pool.h"
 #include "engine/value.h"
 #include "xml/node_store.h"
 
@@ -26,6 +43,19 @@ struct EvalContext {
   std::map<StrId, NodeIdx> documents;
   Profile* profile = nullptr;  // optional
 
+  // Worker threads for DAG- and chunk-level parallelism. 1 = the exact
+  // old serial behavior; 0 = EXRQUY_THREADS if set, otherwise
+  // std::thread::hardware_concurrency().
+  int num_threads = 0;
+  // Row-count granularity of intra-operator chunking. Chunk boundaries
+  // are a pure function of the input size, never of the thread count, so
+  // any setting yields byte-identical results.
+  size_t chunk_rows = 65536;
+  // Release memoized intermediates once their last consumer has run.
+  // Off = keep-all memoization (the pre-refcounting behavior), retained
+  // for peak-memory comparisons.
+  bool release_intermediates = true;
+
   // Physical-plan order detection (Section 6's pointer to Moerkotte &
   // Neumann): when set, % first checks in O(n) whether its input already
   // arrives in the requested (partition, criteria) order and skips the
@@ -33,7 +63,7 @@ struct EvalContext {
   // Orthogonal to the paper's logical rewrites, hence off by default.
   bool detect_sorted_inputs = false;
   // Number of % evaluations whose sort was skipped (diagnostics).
-  mutable size_t sorts_skipped = 0;
+  mutable std::atomic<size_t> sorts_skipped{0};
 };
 
 class Evaluator {
@@ -44,7 +74,32 @@ class Evaluator {
   Result<TablePtr> Eval(OpId root);
 
  private:
-  Result<TablePtr> EvalOp(const Op& op);
+  struct Sched;  // per-Eval scheduler state (eval.cc)
+
+  Result<TablePtr> EvalOp(const Op& op, const std::vector<TablePtr>& in);
+
+  Result<TablePtr> EvalSerial(const std::vector<OpId>& order, OpId root);
+  Result<TablePtr> EvalParallel(const std::vector<OpId>& order, OpId root,
+                                size_t threads);
+  // Scheduler internals address operators by their dense slot in the
+  // topological order rather than by OpId.
+  void RunTask(Sched* s, size_t slot);
+  void FinishTask(Sched* s, size_t slot);
+  void DecrementPending(Sched* s, size_t slot);
+
+  // Splits [0, n) into fixed chunk_rows-sized ranges and runs
+  // fn(chunk, begin, end) for each — on the pool when one exists and the
+  // input is large enough, inline otherwise. Returns the chunk count.
+  size_t ForChunks(size_t n,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+  size_t NumChunks(size_t n) const;
+  // Materializes the given rows of `in`, chunk-parallel per column.
+  TablePtr GatherParallel(const Table& in, const std::vector<uint32_t>& rows);
+  // Chunked stable sort: sorts each chunk, then stably merges chunk pairs
+  // — byte-identical to std::stable_sort over the whole range.
+  void ParallelStableSort(
+      std::vector<uint32_t>* perm,
+      const std::function<bool(uint32_t, uint32_t)>& less);
 
   Result<TablePtr> EvalLit(const Op& op);
   Result<TablePtr> EvalProject(const Op& op, const Table& in);
@@ -76,7 +131,27 @@ class Evaluator {
   const Dag& dag_;
   EvalContext* ctx_;
   ValueOps ops_;
-  std::map<OpId, TablePtr> memo_;
+  size_t chunk_rows_;
+
+  std::unique_ptr<TaskPool> pool_;  // null in serial execution
+
+  // Node constructors append to the NodeStore; everything else only
+  // reads it. A constructor operator holds this exclusively for its whole
+  // kernel, every other operator holds it shared — chunk tasks inherit
+  // the coordinating operator task's hold.
+  std::shared_mutex store_mu_;
+
+  // Guards ctx_->profile and the live-column tracker.
+  std::mutex profile_mu_;
+
+  // Distinct live memoized columns (tables share columns by pointer, so
+  // bytes are counted once per column, not once per referencing table).
+  std::map<const Column*, uint32_t> live_cols_;
+  size_t live_bytes_ = 0;
+  size_t peak_live_bytes_ = 0;
+  size_t released_tables_ = 0;
+  void TrackTable(const Table& t);
+  void UntrackTable(const Table& t);
 };
 
 // Serializes a query result table (schema iter|pos|item, single

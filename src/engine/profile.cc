@@ -5,24 +5,92 @@
 #include <vector>
 
 namespace exrquy {
+namespace {
 
-void Profile::Record(const Op& op, double ms, size_t out_rows) {
-  total_ms_ += ms;
+void AppendJsonString(const std::string& s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendNumber(double v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void Profile::Record(const Op& op, OpMetrics m) {
+  total_ms_ += m.ms;
   Bucket& p = by_prov_[op.prov.empty() ? "(unlabeled)" : op.prov];
-  p.ms += ms;
+  p.ms += m.ms;
   p.ops += 1;
-  p.out_rows += out_rows;
+  p.out_rows += m.out_rows;
   Bucket& k = by_kind_[OpKindName(op.kind)];
-  k.ms += ms;
+  k.ms += m.ms;
   k.ops += 1;
-  k.out_rows += out_rows;
+  k.out_rows += m.out_rows;
+  m.kind = OpKindName(op.kind);
+  m.prov = op.prov;
+  ops_.push_back(std::move(m));
+  ops_sorted_ = false;
+}
+
+void Profile::SetExecution(size_t threads, bool release_intermediates) {
+  threads_ = threads;
+  release_intermediates_ = release_intermediates;
+}
+
+void Profile::SetMemory(size_t peak_live_bytes, size_t final_live_bytes,
+                        size_t released_tables) {
+  peak_live_bytes_ = peak_live_bytes;
+  final_live_bytes_ = final_live_bytes;
+  released_tables_ = released_tables;
+}
+
+const std::vector<Profile::OpMetrics>& Profile::ops() const {
+  if (!ops_sorted_) {
+    std::stable_sort(
+        ops_.begin(), ops_.end(),
+        [](const OpMetrics& a, const OpMetrics& b) { return a.op < b.op; });
+    ops_sorted_ = true;
+  }
+  return ops_;
 }
 
 std::string Profile::ToString() const {
   std::vector<std::pair<std::string, Bucket>> rows(by_prov_.begin(),
                                                    by_prov_.end());
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return a.second.ms > b.second.ms;
+    if (a.second.ms != b.second.ms) return a.second.ms > b.second.ms;
+    return a.first < b.first;  // total key: equal-time labels stay ordered
   });
   std::string out;
   char buf[256];
@@ -37,6 +105,56 @@ std::string Profile::ToString() const {
   }
   std::snprintf(buf, sizeof(buf), "%-58s %10.2f\n", "total", total_ms_);
   out += buf;
+  return out;
+}
+
+std::string Profile::ToJson() const {
+  std::string out = "{\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  \"threads\": %zu,\n  \"release_intermediates\": %s,\n",
+                threads_, release_intermediates_ ? "true" : "false");
+  out += buf;
+  out += "  \"total_ms\": ";
+  AppendNumber(total_ms_, &out);
+  std::snprintf(buf, sizeof(buf),
+                ",\n  \"peak_live_bytes\": %zu,\n  \"final_live_bytes\": "
+                "%zu,\n  \"released_tables\": %zu,\n",
+                peak_live_bytes_, final_live_bytes_, released_tables_);
+  out += buf;
+  out += "  \"ops\": [\n";
+  const std::vector<OpMetrics>& records = ops();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const OpMetrics& m = records[i];
+    std::snprintf(buf, sizeof(buf), "    {\"op\": %u, \"kind\": ",
+                  m.op);
+    out += buf;
+    AppendJsonString(m.kind, &out);
+    out += ", \"prov\": ";
+    AppendJsonString(m.prov, &out);
+    out += ", \"ms\": ";
+    AppendNumber(m.ms, &out);
+    out += ", \"queue_ms\": ";
+    AppendNumber(m.queue_ms, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"in_rows\": %zu, \"out_rows\": %zu, \"chunks\": %zu}",
+                  m.in_rows, m.out_rows, m.chunks);
+    out += buf;
+    out += i + 1 < records.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"by_kind\": {\n";
+  size_t i = 0;
+  for (const auto& [kind, b] : by_kind_) {
+    out += "    ";
+    AppendJsonString(kind, &out);
+    out += ": {\"ms\": ";
+    AppendNumber(b.ms, &out);
+    std::snprintf(buf, sizeof(buf), ", \"ops\": %zu, \"out_rows\": %zu}",
+                  b.ops, b.out_rows);
+    out += buf;
+    out += ++i < by_kind_.size() ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
   return out;
 }
 

@@ -1,11 +1,22 @@
-// Per-operator execution profiling, aggregated by operator kind and by
-// the compiler's provenance labels. This regenerates Table 2 of the
-// paper: "a breakdown of where time goes during evaluation".
+// Per-operator execution profiling. Two granularities:
+//
+//  * aggregated by operator kind and by the compiler's provenance labels
+//    — this regenerates Table 2 of the paper ("a breakdown of where time
+//    goes during evaluation");
+//  * one record per evaluated operator id — wall time, scheduler queue
+//    wait, input/output cardinalities and chunk count — which makes the
+//    parallel engine observable: ToJson() dumps the whole run, including
+//    the peak live intermediate-table footprint under refcounted
+//    release.
+//
+// The profile itself is a plain value type (copied into QueryResult);
+// the evaluator serializes concurrent Record calls externally.
 #ifndef EXRQUY_ENGINE_PROFILE_H_
 #define EXRQUY_ENGINE_PROFILE_H_
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "algebra/algebra.h"
 
@@ -19,20 +30,56 @@ class Profile {
     size_t out_rows = 0;
   };
 
-  void Record(const Op& op, double ms, size_t out_rows);
+  // One evaluated operator.
+  struct OpMetrics {
+    OpId op = kNoOp;
+    std::string kind;        // OpKindName
+    std::string prov;        // provenance label ("" when unlabeled)
+    double ms = 0;           // kernel wall time
+    double queue_ms = 0;     // ready -> start (0 in serial execution)
+    size_t in_rows = 0;      // sum over inputs
+    size_t out_rows = 0;
+    size_t chunks = 1;       // intra-operator chunk tasks (1 = unchunked)
+  };
+
+  void Record(const Op& op, OpMetrics m);
+
+  // Engine-level facts about the run.
+  void SetExecution(size_t threads, bool release_intermediates);
+  void SetMemory(size_t peak_live_bytes, size_t final_live_bytes,
+                 size_t released_tables);
 
   const std::map<std::string, Bucket>& by_prov() const { return by_prov_; }
   const std::map<std::string, Bucket>& by_kind() const { return by_kind_; }
   double total_ms() const { return total_ms_; }
 
+  // Sorted by operator id (insertion order is scheduling-dependent).
+  const std::vector<OpMetrics>& ops() const;
+
+  size_t threads() const { return threads_; }
+  size_t peak_live_bytes() const { return peak_live_bytes_; }
+  size_t final_live_bytes() const { return final_live_bytes_; }
+  size_t released_tables() const { return released_tables_; }
+
   // Table 2-style rendering: one line per provenance label, with
   // millisecond and percentage columns, sorted by time descending.
   std::string ToString() const;
+
+  // The full run as a JSON object: execution facts, memory footprint,
+  // per-operator records and the two aggregations.
+  std::string ToJson() const;
 
  private:
   std::map<std::string, Bucket> by_prov_;
   std::map<std::string, Bucket> by_kind_;
   double total_ms_ = 0;
+  mutable std::vector<OpMetrics> ops_;  // sorted lazily by ops()
+  mutable bool ops_sorted_ = true;
+  size_t threads_ = 1;
+  bool release_intermediates_ = true;
+  size_t peak_live_bytes_ = 0;
+  size_t final_live_bytes_ = 0;
+  size_t released_tables_ = 0;
 };
 
 }  // namespace exrquy

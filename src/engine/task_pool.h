@@ -1,0 +1,54 @@
+// A fixed-size worker pool used by the parallel evaluator: operator
+// tasks from the DAG scheduler and chunk tasks from the intra-operator
+// kernels share one queue. ParallelFor lets the submitting thread
+// participate in draining its own chunks, so a pool saturated with
+// operator tasks can never deadlock a chunked kernel.
+#ifndef EXRQUY_ENGINE_TASK_POOL_H_
+#define EXRQUY_ENGINE_TASK_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exrquy {
+
+class TaskPool {
+ public:
+  // Spawns `threads` workers (0 behaves like 1: no workers, everything
+  // runs inline on the calling thread).
+  explicit TaskPool(size_t threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  size_t threads() const { return workers_.size(); }
+
+  // Enqueues a task. Tasks must not block on other queued tasks (operator
+  // tasks only block on the store lock, whose holder always completes).
+  void Submit(std::function<void()> fn);
+
+  // Invokes fn(i) for every i in [0, n), distributing indices over the
+  // workers while the calling thread drains indices itself; returns when
+  // every index has finished. Index-to-thread assignment is arbitrary —
+  // callers must make fn's effects independent of it (disjoint output
+  // slots indexed by i).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_ENGINE_TASK_POOL_H_

@@ -124,4 +124,14 @@ std::unordered_map<OpId, ColSet> ComputeICols(const Dag& dag, OpId root,
   return icols;
 }
 
+std::unordered_map<OpId, uint32_t> ConsumerCounts(const Dag& dag, OpId root) {
+  std::unordered_map<OpId, uint32_t> counts;
+  for (OpId id : dag.ReachableFrom(root)) {
+    counts.try_emplace(id, 0);
+    for (OpId c : dag.op(id).children) ++counts[c];
+  }
+  ++counts[root];
+  return counts;
+}
+
 }  // namespace exrquy

@@ -284,7 +284,8 @@ void EvalStep(const NodeStore& store, Axis axis, const NodeTest& test,
   std::iota(perm.begin(), perm.end(), 0);
   std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
     if (iters[a] != iters[b]) return iters[a] < iters[b];
-    return nodes[a] < nodes[b];
+    if (nodes[a] != nodes[b]) return nodes[a] < nodes[b];
+    return a < b;  // total key: duplicate contexts keep input order
   });
 
   // Name-index fast path applies to element name tests on descendant axes
