@@ -1,6 +1,7 @@
 #include "api/session.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -19,6 +20,14 @@ using Clock = std::chrono::steady_clock;
 double MsSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+uint64_t EnvU64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(v, &end, 10);
+  return end == v ? 0 : static_cast<uint64_t>(n);
 }
 
 }  // namespace
@@ -94,20 +103,77 @@ Result<QueryPlans> Session::Plan(std::string_view query,
   return PlanInternal(query, options);
 }
 
+namespace {
+
+// Rolls the Session's shared state back to its pre-query snapshot on
+// every exit path — success, compile error, runtime error, or governor
+// abort. Constructed fragments and query-interned strings never outlive
+// the Execute call (results hold plain std::strings), so a failing-query
+// loop leaves the store and pool exactly where they started and the
+// Session stays usable. Detaches the budget first so the rollback's
+// Release calls don't hit an accountant that is about to go away with
+// this frame anyway.
+class SessionRestore {
+ public:
+  SessionRestore(NodeStore* store, StrPool* strings)
+      : store_(store),
+        strings_(strings),
+        nodes_(store->node_count()),
+        fragments_(store->fragment_count()),
+        strs_(strings->size()) {}
+
+  ~SessionRestore() {
+    store_->set_budget(nullptr);
+    strings_->set_budget(nullptr);
+    store_->TruncateTo(nodes_, fragments_);
+    strings_->TruncateTo(strs_);
+  }
+
+ private:
+  NodeStore* store_;
+  StrPool* strings_;
+  size_t nodes_;
+  size_t fragments_;
+  size_t strs_;
+};
+
+}  // namespace
+
 Result<QueryResult> Session::Execute(std::string_view query,
                                      const QueryOptions& options) {
   QueryResult result;
 
-  Clock::time_point t0 = Clock::now();
+  // Resolve the governor configuration: explicit options beat the
+  // environment (EXRQUY_DEADLINE_MS / EXRQUY_MEM_BUDGET / EXRQUY_FAULT_*).
+  Clock::time_point start = Clock::now();
+  int64_t deadline_ms = options.deadline_ms > 0
+                            ? options.deadline_ms
+                            : static_cast<int64_t>(EnvU64("EXRQUY_DEADLINE_MS"));
+  size_t budget_limit = options.memory_budget > 0
+                            ? options.memory_budget
+                            : static_cast<size_t>(EnvU64("EXRQUY_MEM_BUDGET"));
+  FaultPlan faults = options.faults.any() ? options.faults
+                                          : FaultPlan::FromEnv();
+
+  MemoryBudget budget(budget_limit);
+  if (faults.fail_alloc != 0) budget.FailChargeAt(faults.fail_alloc);
+  FaultInjector injector(faults);
+  // Accounting costs a few atomic ops per charge site; only pay them when
+  // someone will observe the numbers (a limit, an alloc fault, a profile).
+  bool account =
+      budget_limit != 0 || faults.fail_alloc != 0 || options.profile;
+
+  SessionRestore restore(&store_, &strings_);
+  if (account) {
+    store_.set_budget(&budget);
+    strings_.set_budget(&budget);
+  }
+
   EXRQUY_ASSIGN_OR_RETURN(QueryPlans plans, PlanInternal(query, options));
-  result.compile_ms = MsSince(t0);
+  result.compile_ms = MsSince(start);
 
   result.plan_initial = CollectPlanStats(*plans.dag, plans.initial);
   result.plan_optimized = CollectPlanStats(*plans.dag, plans.optimized);
-
-  // Discard query-constructed fragments afterwards.
-  size_t node_snapshot = store_.node_count();
-  size_t fragment_snapshot = store_.fragment_count();
 
   EvalContext ctx;
   ctx.store = &store_;
@@ -118,20 +184,26 @@ Result<QueryResult> Session::Execute(std::string_view query,
   ctx.chunk_rows = options.chunk_rows;
   ctx.release_intermediates = options.release_intermediates;
   if (options.profile) ctx.profile = &result.profile;
+  ctx.cancel = options.cancel.get();
+  if (deadline_ms > 0) {
+    ctx.has_deadline = true;
+    ctx.deadline = start + std::chrono::milliseconds(deadline_ms);
+  }
+  if (account) ctx.budget = &budget;
+  if (faults.any()) ctx.faults = &injector;
 
   Clock::time_point t1 = Clock::now();
   Evaluator evaluator(*plans.dag, &ctx);
   Result<TablePtr> table = evaluator.Eval(plans.optimized);
-  if (!table.ok()) {
-    store_.TruncateTo(node_snapshot, fragment_snapshot);
-    return table.status();
+  if (options.profile) {
+    result.profile.SetBudget(budget.limit(), budget.charged(), budget.peak());
   }
+  if (!table.ok()) return table.status();
   result.execute_ms = MsSince(t1);
   result.sorts_skipped = ctx.sorts_skipped;
 
   Result<std::string> serialized = SerializeResult(**table, ctx);
   Result<std::vector<std::string>> items = ResultItems(**table, ctx);
-  store_.TruncateTo(node_snapshot, fragment_snapshot);
   if (!serialized.ok()) return serialized.status();
   if (!items.ok()) return items.status();
   result.serialized = std::move(serialized).value();

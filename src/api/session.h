@@ -21,8 +21,10 @@
 
 #include "algebra/algebra.h"
 #include "algebra/stats.h"
+#include "common/governor.h"
 #include "common/status.h"
 #include "engine/eval.h"
+#include "engine/faults.h"
 #include "engine/profile.h"
 #include "xml/node_store.h"
 #include "xquery/ast.h"
@@ -67,6 +69,30 @@ struct QueryOptions {
   int num_threads = 0;
   size_t chunk_rows = 65536;
   bool release_intermediates = true;
+
+  // -- Resource governance (common/governor.h, engine/faults.h) -----------
+  // Wall-clock deadline for this execution, in milliseconds from the
+  // start of Execute (compilation included). 0 defers to the
+  // EXRQUY_DEADLINE_MS environment variable; unset/0 there = no deadline.
+  // Exceeding it aborts within one chunk's work -> kDeadlineExceeded.
+  int64_t deadline_ms = 0;
+
+  // Per-query memory budget in bytes, covering intermediate table
+  // columns, constructed nodes, and newly interned strings. 0 defers to
+  // EXRQUY_MEM_BUDGET; unset/0 there = unlimited (accounting still runs
+  // when `profile` is set, reported via Profile). Crossing the budget
+  // aborts cleanly -> kResourceExhausted, never OOM.
+  size_t memory_budget = 0;
+
+  // Shareable cancellation token: call cancel->Cancel() from any thread
+  // to abort the running query -> kCancelled. The Session never takes
+  // ownership of the flag's lifecycle beyond the shared_ptr.
+  CancelTokenPtr cancel;
+
+  // Deterministic fault injection for tests and incident reproduction;
+  // all-zeros (the default) defers to the EXRQUY_FAULT_* environment
+  // variables (engine/faults.h).
+  FaultPlan faults;
 };
 
 struct QueryResult {
@@ -99,8 +125,11 @@ class Session {
   Status LoadDocument(std::string_view name, std::string_view xml);
   Status LoadDocumentFile(std::string_view name, const std::string& path);
 
-  // Runs the full pipeline. Constructed fragments are discarded after
-  // serialization, so repeated executions do not grow the store.
+  // Runs the full pipeline. Constructed fragments and query-interned
+  // strings are discarded on every exit path — success, compile error,
+  // runtime error, or governor abort — so repeated executions (including
+  // repeated failures) do not grow the store or the pool, and the
+  // Session stays fully usable after any abort.
   Result<QueryResult> Execute(std::string_view query,
                               const QueryOptions& options = {});
 

@@ -19,6 +19,12 @@ const char* CodeName(StatusCode code) {
       return "CardinalityError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -50,6 +56,15 @@ Status CardinalityError(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status Cancelled(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace exrquy

@@ -22,6 +22,9 @@ enum class StatusCode {
   kTypeError,         // XQuery dynamic type error (err:XPTY*)
   kCardinalityError,  // fn:exactly-one etc. violated
   kInternal,
+  kCancelled,          // CancelToken tripped by the caller
+  kDeadlineExceeded,   // QueryOptions deadline / EXRQUY_DEADLINE_MS hit
+  kResourceExhausted,  // per-query MemoryBudget crossed
 };
 
 // A success-or-error value. Cheap to copy on the success path.
@@ -53,6 +56,9 @@ Status Unimplemented(std::string message);
 Status TypeError(std::string message);
 Status CardinalityError(std::string message);
 Status Internal(std::string message);
+Status Cancelled(std::string message);
+Status DeadlineExceeded(std::string message);
+Status ResourceExhausted(std::string message);
 
 // Result<T> carries either a value or an error Status.
 template <typename T>

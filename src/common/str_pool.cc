@@ -1,6 +1,7 @@
 #include "common/str_pool.h"
 
 #include "common/check.h"
+#include "common/governor.h"
 
 namespace exrquy {
 
@@ -34,7 +35,31 @@ StrId StrPool::Intern(std::string_view s) {
   StrId id = static_cast<StrId>(n);
   index_.emplace(std::string_view(block[n & (kChunkSize - 1)]), id);
   size_.store(n + 1, std::memory_order_release);
+  if (budget_ != nullptr) budget_->Charge(InternedBytes(s.size()));
   return id;
+}
+
+void StrPool::set_budget(MemoryBudget* budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = budget;
+}
+
+void StrPool::TruncateTo(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t cur = size_.load(std::memory_order_relaxed);
+  EXRQUY_CHECK(n <= cur);
+  if (n == cur) return;
+  size_t released = 0;
+  for (size_t i = cur; i-- > n;) {
+    std::string* block = chunks_[i >> kChunkShift].load(std::memory_order_relaxed);
+    std::string& s = block[i & (kChunkSize - 1)];
+    released += InternedBytes(s.size());
+    index_.erase(std::string_view(s));
+    s.clear();
+    s.shrink_to_fit();
+  }
+  size_.store(n, std::memory_order_release);
+  if (budget_ != nullptr) budget_->Release(released);
 }
 
 const std::string& StrPool::Get(StrId id) const {

@@ -21,6 +21,8 @@
 
 namespace exrquy {
 
+class MemoryBudget;
+
 using StrId = uint32_t;
 
 class StrPool {
@@ -46,6 +48,25 @@ class StrPool {
 
   size_t size() const { return size_.load(std::memory_order_acquire); }
 
+  // Attaches (or, with nullptr, detaches) a per-query MemoryBudget.
+  // While attached, every first-time intern charges its payload +
+  // bookkeeping bytes. Serialized with Intern behind mu_.
+  void set_budget(MemoryBudget* budget);
+
+  // Rolls the pool back to its first `n` strings: ids >= n are erased
+  // from the index, their storage freed, and their bytes returned to the
+  // attached budget (if any). Callers must guarantee no live StrId >= n
+  // survives the call (Session snapshots size() per query). Not safe
+  // concurrently with Get on the dropped range.
+  void TruncateTo(size_t n);
+
+  // Approximate bytes charged for interning a string of length `len`
+  // (payload + std::string + hash-index entry). Exposed so tests can
+  // predict budget numbers.
+  static constexpr size_t InternedBytes(size_t len) {
+    return len + sizeof(std::string) + 48;
+  }
+
  private:
   static constexpr size_t kChunkShift = 12;
   static constexpr size_t kChunkSize = size_t{1} << kChunkShift;  // 4096
@@ -56,8 +77,9 @@ class StrPool {
   std::unique_ptr<std::atomic<std::string*>[]> chunks_;
   std::atomic<size_t> size_{0};
 
-  std::mutex mu_;  // guards index_ and growth
+  std::mutex mu_;  // guards index_, growth, and budget_
   std::unordered_map<std::string_view, StrId> index_;
+  MemoryBudget* budget_ = nullptr;
 };
 
 }  // namespace exrquy

@@ -175,6 +175,57 @@ Evaluator::Evaluator(const Dag& dag, EvalContext* ctx)
       ops_(ctx->strings, ctx->store),
       chunk_rows_(std::max<size_t>(1, ctx->chunk_rows)) {}
 
+// ---------------------------------------------------------------------------
+// Governor polls. All cooperative: kernels are never interrupted, they
+// observe the trip at the next operator dispatch or chunk boundary, so
+// the abort latency is bounded by one chunk's work.
+
+void Evaluator::Trip(Status st) {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  if (trip_status_.ok()) trip_status_ = std::move(st);
+  tripped_.store(true, std::memory_order_release);
+}
+
+Status Evaluator::TripStatus() {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  EXRQUY_DCHECK(!trip_status_.ok());
+  return trip_status_;
+}
+
+Status Evaluator::PollGovernor() {
+  if (!tripped_.load(std::memory_order_acquire)) {
+    if (ctx_->cancel != nullptr && ctx_->cancel->cancelled()) {
+      Trip(Cancelled("query cancelled by caller"));
+    } else if (ctx_->has_deadline && Clock::now() >= ctx_->deadline) {
+      Trip(DeadlineExceeded("query deadline exceeded"));
+    } else if (ctx_->budget != nullptr && ctx_->budget->exhausted()) {
+      Trip(ResourceExhausted(
+          "query memory budget exhausted (limit " +
+          std::to_string(ctx_->budget->limit()) + " bytes)"));
+    } else {
+      return Status::Ok();
+    }
+  }
+  return TripStatus();
+}
+
+Status Evaluator::PollOp() {
+  if (ctx_->faults != nullptr && ctx_->faults->CancelAtOp()) {
+    Trip(Cancelled("fault injection: cancel at operator dispatch " +
+                   std::to_string(ctx_->faults->plan().cancel_at_op)));
+  }
+  return PollGovernor();
+}
+
+Status Evaluator::PollChunk() {
+  if (ctx_->faults != nullptr && ctx_->faults->DeadlineAtChunk()) {
+    Trip(DeadlineExceeded(
+        "fault injection: deadline at chunk boundary " +
+        std::to_string(ctx_->faults->plan().deadline_at_chunk)));
+  }
+  return PollGovernor();
+}
+
 Result<TablePtr> Evaluator::Eval(OpId root) {
   // A malformed plan (hand-built, or produced by a buggy rewrite that
   // slipped past the pipeline's own verification) must fail as a Status,
@@ -184,6 +235,10 @@ Result<TablePtr> Evaluator::Eval(OpId root) {
   guard.check_properties = false;
   EXRQUY_RETURN_IF_ERROR(VerifyPlan(dag_, root, guard));
 
+  // A pre-cancelled token, an already-expired deadline, or a budget
+  // exhausted by pre-evaluation work fails before any operator runs.
+  EXRQUY_RETURN_IF_ERROR(PollGovernor());
+
   std::vector<OpId> order = dag_.ReachableFrom(root);
   size_t threads = ResolveThreads(ctx_->num_threads);
   if (ctx_->profile != nullptr) {
@@ -191,6 +246,21 @@ Result<TablePtr> Evaluator::Eval(OpId root) {
   }
   Result<TablePtr> result = threads <= 1 ? EvalSerial(order, root)
                                          : EvalParallel(order, root, threads);
+  if (result.ok()) {
+    // A trip latched during the final operator's chunks, or a budget
+    // crossing charged by the last kernel, still fails the query: the
+    // root table may be complete, but the contract (clean Status once a
+    // governor condition fires) takes precedence. The wall-clock
+    // deadline alone is exempt — a query that finished is not re-failed
+    // for ending close to its deadline.
+    if (tripped_.load(std::memory_order_acquire)) {
+      result = TripStatus();
+    } else if (ctx_->budget != nullptr && ctx_->budget->exhausted()) {
+      result = ResourceExhausted(
+          "query memory budget exhausted (limit " +
+          std::to_string(ctx_->budget->limit()) + " bytes)");
+    }
+  }
   if (ctx_->profile != nullptr) {
     ctx_->profile->SetMemory(peak_live_bytes_, live_bytes_, released_tables_);
   }
@@ -200,7 +270,11 @@ Result<TablePtr> Evaluator::Eval(OpId root) {
 void Evaluator::TrackTable(const Table& t) {
   for (ColId c : t.schema()) {
     const Column* p = t.col_ptr(c).get();
-    if (++live_cols_[p] == 1) live_bytes_ += p->size() * sizeof(Value);
+    if (++live_cols_[p] == 1) {
+      size_t bytes = Table::ColumnBytes(*p);
+      live_bytes_ += bytes;
+      if (ctx_->budget != nullptr) ctx_->budget->Charge(bytes);
+    }
   }
   peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes_);
 }
@@ -210,7 +284,9 @@ void Evaluator::UntrackTable(const Table& t) {
     const Column* p = t.col_ptr(c).get();
     auto it = live_cols_.find(p);
     if (it != live_cols_.end() && --it->second == 0) {
-      live_bytes_ -= p->size() * sizeof(Value);
+      size_t bytes = Table::ColumnBytes(*p);
+      live_bytes_ -= bytes;
+      if (ctx_->budget != nullptr) ctx_->budget->Release(bytes);
       live_cols_.erase(it);
     }
   }
@@ -226,6 +302,7 @@ Result<TablePtr> Evaluator::EvalSerial(const std::vector<OpId>& order,
   if (release) consumers = ConsumerCounts(dag_, root);
 
   for (OpId id : order) {
+    EXRQUY_RETURN_IF_ERROR(PollOp());
     const Op& op = dag_.op(id);
     std::vector<TablePtr> in;
     in.reserve(op.children.size());
@@ -240,6 +317,11 @@ Result<TablePtr> Evaluator::EvalSerial(const std::vector<OpId>& order,
     Result<TablePtr> r = EvalOp(op, in);
     double ms = MsSince(start);
     tls_chunks = nullptr;
+    if (r.ok() && tripped_.load(std::memory_order_acquire)) {
+      // A governor trip mid-kernel makes chunk tasks skip their slices;
+      // the assembled table would be torn, so it must not be memoized.
+      r = TripStatus();
+    }
     if (!r.ok()) return r.status();
     TablePtr t = std::move(r).value();
     if (ctx_->profile != nullptr) {
@@ -323,6 +405,10 @@ Result<TablePtr> Evaluator::EvalParallel(const std::vector<OpId>& order,
   }
   pool_.reset();  // joins the workers; nothing touches `s` afterwards
 
+  // A governor trip wins over concurrent operator errors: the trip is
+  // reproducible at every thread count (its counters advance the same
+  // number of times), while which kernels got far enough to fail is not.
+  if (tripped_.load(std::memory_order_acquire)) return TripStatus();
   if (s.err_op != kNoOp) return s.err;
   return s.memo[s.slot.at(root)];
 }
@@ -330,6 +416,14 @@ Result<TablePtr> Evaluator::EvalParallel(const std::vector<OpId>& order,
 void Evaluator::RunTask(Sched* s, size_t i) {
   const Op& op = *s->ops[i];
   if (s->cancelled.load(std::memory_order_acquire)) {
+    FinishTask(s, i);
+    return;
+  }
+  if (Status g = PollOp(); !g.ok()) {
+    // Drain like an operator error: later tasks early-out above, pending
+    // counts still reach zero, intermediates still release. The final
+    // status comes from the trip latch, not from s->err.
+    s->cancelled.store(true, std::memory_order_release);
     FinishTask(s, i);
     return;
   }
@@ -357,6 +451,10 @@ void Evaluator::RunTask(Sched* s, size_t i) {
   tls_chunks = nullptr;
   in.clear();
 
+  if (r.ok() && tripped_.load(std::memory_order_acquire)) {
+    // Torn table (chunks skipped after a trip) — do not memoize it.
+    r = TripStatus();
+  }
   if (!r.ok()) {
     {
       std::lock_guard<std::mutex> lock(s->err_mu);
@@ -428,6 +526,10 @@ size_t Evaluator::ForChunks(
     size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
   size_t chunks = NumChunks(n);
   auto run = [&](size_t c) {
+    // Chunk-boundary governor poll: a tripped chunk leaves its slice
+    // unwritten, which the post-EvalOp torn-table check turns into the
+    // trip Status before the table can be observed.
+    if (!PollChunk().ok()) return;
     size_t begin = c * chunk_rows_;
     fn(c, begin, std::min(n, begin + chunk_rows_));
   };
@@ -471,6 +573,9 @@ void Evaluator::ParallelStableSort(
   ForChunks(n, [&](size_t, size_t begin, size_t end) {
     std::stable_sort(perm->begin() + begin, perm->begin() + end, less);
   });
+  // A trip leaves some chunks unsorted; merging unsorted ranges violates
+  // std::merge's precondition, and the result is discarded anyway.
+  if (tripped_.load(std::memory_order_acquire)) return;
   std::vector<uint32_t> buf(n);
   std::vector<uint32_t>* src = perm;
   std::vector<uint32_t>* dst = &buf;
@@ -572,6 +677,11 @@ Result<TablePtr> Evaluator::EvalRange(const Op& op, const Table& in) {
   Column out_iter;
   Column out_item;
   for (size_t r = 0; r < in.rows(); ++r) {
+    // The expansion kernel can produce orders of magnitude more rows than
+    // it consumes, so it polls on its own output volume (below) as well
+    // as periodically on input rows — the only kernel whose "one chunk of
+    // work" is not bounded by its input size.
+    if ((r & 1023) == 0) EXRQUY_RETURN_IF_ERROR(PollGovernor());
     auto as_int = [&](const Value& v) -> Result<int64_t> {
       if (v.kind == ValueKind::kInt) return v.i;
       EXRQUY_ASSIGN_OR_RETURN(Value d, ops_.ToDouble(v));
@@ -583,6 +693,9 @@ Result<TablePtr> Evaluator::EvalRange(const Op& op, const Table& in) {
       return TypeError("range expression too large");
     }
     for (int64_t v = a; v <= b; ++v) {
+      if ((out_item.size() & 0xFFFF) == 0xFFFF) {
+        EXRQUY_RETURN_IF_ERROR(PollGovernor());
+      }
       out_iter.push_back(iters[r]);
       out_item.push_back(Value::Int(v));
     }

@@ -18,6 +18,7 @@
 #define EXRQUY_ENGINE_EVAL_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,7 +28,9 @@
 #include <vector>
 
 #include "algebra/algebra.h"
+#include "common/governor.h"
 #include "common/status.h"
+#include "engine/faults.h"
 #include "engine/profile.h"
 #include "engine/table.h"
 #include "engine/task_pool.h"
@@ -64,6 +67,25 @@ struct EvalContext {
   bool detect_sorted_inputs = false;
   // Number of % evaluations whose sort was skipped (diagnostics).
   mutable std::atomic<size_t> sorts_skipped{0};
+
+  // -- Resource governance (all optional; see common/governor.h) ----------
+  // Cooperative cancellation: polled at every operator dispatch and chunk
+  // boundary, so an abort lands within one chunk's work -> kCancelled.
+  const CancelToken* cancel = nullptr;
+  // Wall-clock deadline, same poll points -> kDeadlineExceeded. A query
+  // that completes its root is allowed to return even if the deadline
+  // passed during its final chunk (completion beats a late trip).
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  // Byte accountant; charged by live intermediate columns here and by
+  // NodeStore/StrPool growth (Session attaches it there). A charge that
+  // crosses the limit latches the budget and the next poll converts it
+  // into kResourceExhausted — exhaustion always fails the query, even
+  // when detected only after the root completed (the memory was used).
+  MemoryBudget* budget = nullptr;
+  // Deterministic fault injection (engine/faults.h); counts dispatches
+  // and chunk polls and turns the planned points into governor trips.
+  FaultInjector* faults = nullptr;
 };
 
 class Evaluator {
@@ -75,6 +97,17 @@ class Evaluator {
 
  private:
   struct Sched;  // per-Eval scheduler state (eval.cc)
+
+  // -- Governor (cancel/deadline/budget/faults) ----------------------------
+  // Latches the first trip status; later trips are ignored.
+  void Trip(Status st);
+  Status TripStatus();
+  // Checks cancel token, deadline, and budget latch; returns the trip
+  // status once any of them (or a previous trip) fired. PollOp/PollChunk
+  // additionally advance the fault-injection counters.
+  Status PollGovernor();
+  Status PollOp();     // one operator dispatch
+  Status PollChunk();  // one chunk boundary
 
   Result<TablePtr> EvalOp(const Op& op, const std::vector<TablePtr>& in);
 
@@ -143,6 +176,15 @@ class Evaluator {
 
   // Guards ctx_->profile and the live-column tracker.
   std::mutex profile_mu_;
+
+  // Governor trip state: set once by the first observed cancel/deadline/
+  // budget/fault condition, then sticky for the whole evaluation. Chunk
+  // tasks that observe the trip skip their work, so the owning operator's
+  // table would be torn — EvalSerial/RunTask discard any ok() result
+  // produced while tripped_ is set instead of memoizing it.
+  std::atomic<bool> tripped_{false};
+  std::mutex trip_mu_;
+  Status trip_status_;
 
   // Distinct live memoized columns (tables share columns by pointer, so
   // bytes are counted once per column, not once per referencing table).

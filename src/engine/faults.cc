@@ -1,0 +1,27 @@
+#include "engine/faults.h"
+
+#include <cstdlib>
+
+namespace exrquy {
+namespace {
+
+uint64_t EnvU64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v) return 0;
+  return static_cast<uint64_t>(n);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::FromEnv() {
+  FaultPlan plan;
+  plan.fail_alloc = EnvU64("EXRQUY_FAULT_ALLOC");
+  plan.cancel_at_op = EnvU64("EXRQUY_FAULT_CANCEL_OP");
+  plan.deadline_at_chunk = EnvU64("EXRQUY_FAULT_DEADLINE_CHUNK");
+  return plan;
+}
+
+}  // namespace exrquy

@@ -1,0 +1,80 @@
+// Deterministic fault injection for the resource governor. A FaultPlan
+// names exact failure points in terms of the engine's own monotonic
+// counters — "fail allocation N", "cancel at operator dispatch K", "trip
+// the deadline at chunk boundary M" — so a test (or an operator
+// reproducing a production incident) can replay the identical failure on
+// every run: the counters advance at well-defined points in the
+// evaluator, not on wall clocks or thread identities. What is
+// deterministic is the *outcome* (the query fails with the planned
+// Status code iff the counter reaches the threshold, and the threshold
+// is reached iff an unfaulted run would pass that many points); under
+// parallel execution the specific operator observing the trip may vary,
+// which the governor's clean-abort contract makes unobservable.
+//
+// The plan is configured per query via QueryOptions::faults or, when
+// that is all zeros, the environment:
+//
+//   EXRQUY_FAULT_ALLOC=N           fail MemoryBudget charge N  -> kResourceExhausted
+//   EXRQUY_FAULT_CANCEL_OP=K       cancel at op dispatch K     -> kCancelled
+//   EXRQUY_FAULT_DEADLINE_CHUNK=M  deadline at chunk M         -> kDeadlineExceeded
+#ifndef EXRQUY_ENGINE_FAULTS_H_
+#define EXRQUY_ENGINE_FAULTS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace exrquy {
+
+// Which failure to inject, in engine-counter coordinates. All thresholds
+// are 1-based; 0 disarms the corresponding fault.
+struct FaultPlan {
+  uint64_t fail_alloc = 0;         // MemoryBudget charge number
+  uint64_t cancel_at_op = 0;       // operator dispatch number
+  uint64_t deadline_at_chunk = 0;  // chunk-boundary poll number
+
+  bool any() const {
+    return fail_alloc != 0 || cancel_at_op != 0 || deadline_at_chunk != 0;
+  }
+
+  // Reads the EXRQUY_FAULT_* environment variables (unset/invalid = 0).
+  static FaultPlan FromEnv();
+};
+
+// Per-query counter state for one FaultPlan. The evaluator consults it
+// at every operator dispatch and chunk boundary; thresholds compare with
+// >= so the answer stays true once reached (the governor's trip latch
+// makes the first observation the only one that matters).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Counts one operator dispatch; true iff the cancel fault is armed and
+  // dispatch number >= cancel_at_op.
+  bool CancelAtOp() {
+    if (plan_.cancel_at_op == 0) return false;
+    return ops_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+           plan_.cancel_at_op;
+  }
+
+  // Counts one chunk-boundary poll; true iff the deadline fault is armed
+  // and poll number >= deadline_at_chunk.
+  bool DeadlineAtChunk() {
+    if (plan_.deadline_at_chunk == 0) return false;
+    return chunks_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+           plan_.deadline_at_chunk;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  const FaultPlan plan_;
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> chunks_{0};
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_ENGINE_FAULTS_H_

@@ -75,6 +75,13 @@ void Profile::SetMemory(size_t peak_live_bytes, size_t final_live_bytes,
   released_tables_ = released_tables;
 }
 
+void Profile::SetBudget(size_t limit_bytes, size_t charged_bytes,
+                        size_t peak_bytes) {
+  budget_limit_bytes_ = limit_bytes;
+  budget_charged_bytes_ = charged_bytes;
+  budget_peak_bytes_ = peak_bytes;
+}
+
 const std::vector<Profile::OpMetrics>& Profile::ops() const {
   if (!ops_sorted_) {
     std::stable_sort(
@@ -121,6 +128,12 @@ std::string Profile::ToJson() const {
                 ",\n  \"peak_live_bytes\": %zu,\n  \"final_live_bytes\": "
                 "%zu,\n  \"released_tables\": %zu,\n",
                 peak_live_bytes_, final_live_bytes_, released_tables_);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"budget_limit_bytes\": %zu,\n  \"budget_charged_bytes\": "
+                "%zu,\n  \"budget_peak_bytes\": %zu,\n",
+                budget_limit_bytes_, budget_charged_bytes_,
+                budget_peak_bytes_);
   out += buf;
   out += "  \"ops\": [\n";
   const std::vector<OpMetrics>& records = ops();

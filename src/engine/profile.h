@@ -48,6 +48,11 @@ class Profile {
   void SetExecution(size_t threads, bool release_intermediates);
   void SetMemory(size_t peak_live_bytes, size_t final_live_bytes,
                  size_t released_tables);
+  // Memory-governor accounting (common/governor.h MemoryBudget): the
+  // configured limit (0 = unlimited), bytes still charged when the query
+  // ended, and the high-water mark across tables + nodes + strings.
+  void SetBudget(size_t limit_bytes, size_t charged_bytes,
+                 size_t peak_bytes);
 
   const std::map<std::string, Bucket>& by_prov() const { return by_prov_; }
   const std::map<std::string, Bucket>& by_kind() const { return by_kind_; }
@@ -60,6 +65,9 @@ class Profile {
   size_t peak_live_bytes() const { return peak_live_bytes_; }
   size_t final_live_bytes() const { return final_live_bytes_; }
   size_t released_tables() const { return released_tables_; }
+  size_t budget_limit_bytes() const { return budget_limit_bytes_; }
+  size_t budget_charged_bytes() const { return budget_charged_bytes_; }
+  size_t budget_peak_bytes() const { return budget_peak_bytes_; }
 
   // Table 2-style rendering: one line per provenance label, with
   // millisecond and percentage columns, sorted by time descending.
@@ -80,6 +88,9 @@ class Profile {
   size_t peak_live_bytes_ = 0;
   size_t final_live_bytes_ = 0;
   size_t released_tables_ = 0;
+  size_t budget_limit_bytes_ = 0;
+  size_t budget_charged_bytes_ = 0;
+  size_t budget_peak_bytes_ = 0;
 };
 
 }  // namespace exrquy

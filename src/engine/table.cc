@@ -31,4 +31,19 @@ void Table::AddColumn(ColId c, Column data) {
   AddColumn(c, std::make_shared<const Column>(std::move(data)));
 }
 
+size_t Table::ByteSize() const {
+  size_t bytes = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (data_[j] == data_[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) bytes += ColumnBytes(*data_[i]);
+  }
+  return bytes;
+}
+
 }  // namespace exrquy

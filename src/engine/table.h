@@ -39,6 +39,17 @@ class Table {
   // Explicitly sets the row count for tables built column-less first.
   void SetRows(size_t rows) { rows_ = rows; }
 
+  // Materialized payload bytes of one column — the unit the memory
+  // governor accounts in (Value is fixed-width; the vector header and
+  // allocator slack are ignored).
+  static size_t ColumnBytes(const Column& c) {
+    return c.size() * sizeof(Value);
+  }
+
+  // Payload bytes of this table, counting each shared column once even
+  // when several ColIds alias it (projection/renaming share by pointer).
+  size_t ByteSize() const;
+
  private:
   std::vector<ColId> cols_;
   std::vector<ColumnPtr> data_;

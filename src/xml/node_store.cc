@@ -79,6 +79,9 @@ void NodeStore::TruncateTo(size_t node_count, size_t fragment_count) {
   for (size_t i = fragment_count; i < fragments_.size(); ++i) {
     EXRQUY_CHECK(!fragments_[i].indexed);
   }
+  if (budget_ != nullptr && node_count < kind_.size()) {
+    budget_->Release((kind_.size() - node_count) * kBytesPerNode);
+  }
   kind_.resize(node_count);
   name_.resize(node_count);
   value_.resize(node_count);
@@ -120,6 +123,7 @@ NodeIdx NodeStore::AppendNode(NodeKind kind, StrId name, StrId value,
   size_.push_back(0);
   level_.push_back(level);
   parent_.push_back(parent);
+  if (budget_ != nullptr) budget_->Charge(kBytesPerNode);
   return n;
 }
 

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "common/str_pool.h"
 
@@ -108,6 +109,19 @@ class NodeStore {
   // sorted).
   void IndexFragment(size_t frag_id);
 
+  // -- Resource governance -------------------------------------------------
+  // Attaches (nullptr detaches) a per-query MemoryBudget: every appended
+  // node charges kBytesPerNode, and TruncateTo returns the bytes of the
+  // dropped range. Mutations already serialize behind the evaluator's
+  // store mutex, so no extra locking here.
+  void set_budget(MemoryBudget* budget) { budget_ = budget; }
+
+  // Columnar footprint of one node: kind + name + value + size + level +
+  // parent. Exposed so tests can predict budget numbers.
+  static constexpr size_t kBytesPerNode =
+      sizeof(uint8_t) + 2 * sizeof(StrId) + sizeof(uint32_t) +
+      sizeof(uint16_t) + sizeof(NodeIdx);
+
  private:
   friend class NodeBuilder;
 
@@ -127,6 +141,8 @@ class NodeStore {
 
   // (kind, name) -> sorted preorder ranks.
   std::unordered_map<uint64_t, std::vector<NodeIdx>> name_index_;
+
+  MemoryBudget* budget_ = nullptr;
 };
 
 // Builds one fragment (a loaded document or a constructed element) in

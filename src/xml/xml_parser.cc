@@ -143,6 +143,17 @@ class Parser {
 
   Status ParseElement() {
     EXRQUY_DCHECK(Peek() == '<');
+    if (depth_ >= options_.max_depth) {
+      return Error("element nesting deeper than " +
+                   std::to_string(options_.max_depth));
+    }
+    ++depth_;
+    Status st = ParseElementInner();
+    --depth_;
+    return st;
+  }
+
+  Status ParseElementInner() {
     ++pos_;
     EXRQUY_ASSIGN_OR_RETURN(std::string_view name, ParseName());
     builder_.BeginElement(name);
@@ -221,6 +232,7 @@ class Parser {
   std::string_view text_;
   XmlParseOptions options_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

@@ -15,6 +15,13 @@ struct XmlParseOptions {
   // Drop text nodes that consist only of whitespace (boundary whitespace
   // between elements). XMark data has no meaningful whitespace-only text.
   bool strip_whitespace = true;
+
+  // Maximum element nesting depth. The parser recurses per element, so
+  // without a limit an adversarial <a><a><a>… document overflows the
+  // stack instead of returning a Status; the limit also keeps node
+  // levels far inside NodeStore's uint16_t level encoding. 500 is an
+  // order of magnitude above any real document (XMark nests < 12).
+  size_t max_depth = 500;
 };
 
 // Parses `text` into a new fragment of `store` rooted at a document node.

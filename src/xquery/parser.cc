@@ -149,7 +149,26 @@ class Parser {
     return seq;
   }
 
+  // Every unbounded recursion cycle in this grammar passes through
+  // ParseExprSingle (parenthesized expressions, predicates, function
+  // arguments, FLWOR/quantifier/if bodies) or ParseCtorAt (nested direct
+  // constructors); the +/- unary chain is iterative. Bounding these two
+  // therefore bounds the C++ call stack: adversarially nested input
+  // returns an InvalidArgument Status instead of overflowing it.
+  static constexpr size_t kMaxDepth = 256;
+
   Result<ExprPtr> ParseExprSingle() {
+    if (depth_ >= kMaxDepth) {
+      return Error("expression nesting deeper than " +
+                   std::to_string(kMaxDepth));
+    }
+    ++depth_;
+    Result<ExprPtr> r = ParseExprSingleInner();
+    --depth_;
+    return r;
+  }
+
+  Result<ExprPtr> ParseExprSingleInner() {
     if (IsName("for") || IsName("let")) return ParseFlwor();
     if (IsName("some") || IsName("every")) return ParseQuantified();
     if (IsName("if")) return ParseIf();
@@ -805,6 +824,17 @@ class Parser {
 
   // Parses '<name attrs> content </name>' starting at offset p ('<').
   Result<CtorResult> ParseCtorAt(size_t p) {
+    if (depth_ >= kMaxDepth) {
+      return CtorError(p, "constructor nesting deeper than " +
+                              std::to_string(kMaxDepth));
+    }
+    ++depth_;
+    Result<CtorResult> r = ParseCtorAtInner(p);
+    --depth_;
+    return r;
+  }
+
+  Result<CtorResult> ParseCtorAtInner(size_t p) {
     std::string_view text = lexer_.text();
     auto at_end = [&] { return p >= text.size(); };
     auto skip_ws = [&] {
@@ -1020,6 +1050,7 @@ class Parser {
   }
 
   Lexer lexer_;
+  size_t depth_ = 0;  // ParseExprSingle + ParseCtorAt recursion depth
 };
 
 }  // namespace
