@@ -10,6 +10,7 @@
 #include "algebra/dot.h"
 #include "algebra/stats.h"
 #include "bench/bench_util.h"
+#include "opt/analyses.h"
 
 namespace exrquy {
 namespace {
@@ -43,8 +44,17 @@ void Run() {
                 CollectPlanStats(*pe->dag, pe->optimized).ToString().c_str());
     FILE* f = std::fopen("fig10_after.dot", "w");
     if (f != nullptr) {
+      ColSet seed;
+      for (ColId c : {col::iter(), col::pos(), col::item()}) {
+        if (pe->dag->op(pe->optimized).HasCol(c)) seed.insert(c);
+      }
+      OrderProvenance prov = ComputeOrderProvenance(
+          *pe->dag, pe->optimized, seed, &session.strings());
       std::fputs(
-          PlanToDot(*pe->dag, pe->optimized, session.strings()).c_str(), f);
+          PlanToDot(*pe->dag, pe->optimized, session.strings(),
+                    ProvenanceAnnotations(*pe->dag, pe->optimized, prov))
+              .c_str(),
+          f);
       std::fclose(f);
       std::printf("DOT of the rewritten plan written to fig10_after.dot\n");
     }

@@ -12,9 +12,24 @@
 #include "algebra/dot.h"
 #include "algebra/stats.h"
 #include "bench/bench_util.h"
+#include "opt/analyses.h"
 
 namespace exrquy {
 namespace {
+
+// DOT rendering with every % annotated by the order-provenance reasons
+// that keep it alive (opt/analyses.h).
+std::string AnnotatedDot(const QueryPlans& plans, OpId root,
+                         const StrPool& strings) {
+  ColSet seed;
+  for (ColId c : {col::iter(), col::pos(), col::item()}) {
+    if (plans.dag->op(root).HasCol(c)) seed.insert(c);
+  }
+  OrderProvenance prov =
+      ComputeOrderProvenance(*plans.dag, root, seed, &strings);
+  return PlanToDot(*plans.dag, root, strings,
+                   ProvenanceAnnotations(*plans.dag, root, prov));
+}
 
 void Show(Session* session, const char* title, const std::string& query,
           const QueryOptions& options, bool optimized) {
@@ -53,14 +68,14 @@ void Run() {
   if (pa.ok() && pb.ok()) {
     FILE* fa = std::fopen("q6_ordered.dot", "w");
     if (fa != nullptr) {
-      std::fputs(
-          PlanToDot(*pa->dag, pa->initial, session->strings()).c_str(), fa);
+      std::fputs(AnnotatedDot(*pa, pa->initial, session->strings()).c_str(),
+                 fa);
       std::fclose(fa);
     }
     FILE* fb = std::fopen("q6_unordered.dot", "w");
     if (fb != nullptr) {
-      std::fputs(
-          PlanToDot(*pb->dag, pb->initial, session->strings()).c_str(), fb);
+      std::fputs(AnnotatedDot(*pb, pb->initial, session->strings()).c_str(),
+                 fb);
       std::fclose(fb);
     }
     std::printf("DOT plans written to q6_ordered.dot / q6_unordered.dot\n");

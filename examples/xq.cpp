@@ -7,6 +7,8 @@
 //     --unordered     declare ordering unordered by default
 //     --plan          print the optimized plan instead of executing
 //     --sql           print the generated SQL:1999 instead of executing
+//     --explain-order print, for every sort surviving optimization, the
+//                     source constructs whose order demand keeps it alive
 //     --profile       print the Table 2-style execution profile
 //
 // Example:
@@ -28,7 +30,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: xq [-d name=path]... [--baseline|--unordered] "
-               "[--plan|--sql] [--profile] (-e <expr> | query.xq | -)\n");
+               "[--plan|--sql|--explain-order] [--profile] "
+               "(-e <expr> | query.xq | -)\n");
   return 2;
 }
 
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
   bool have_query = false;
   bool want_plan = false;
   bool want_sql = false;
+  bool want_explain_order = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -65,6 +69,8 @@ int main(int argc, char** argv) {
       want_plan = true;
     } else if (arg == "--sql") {
       want_sql = true;
+    } else if (arg == "--explain-order") {
+      want_explain_order = true;
     } else if (arg == "--profile") {
       options.profile = true;
     } else if (!have_query) {
@@ -88,6 +94,33 @@ int main(int argc, char** argv) {
     }
   }
   if (!have_query) return Usage();
+
+  if (want_explain_order) {
+    exrquy::Result<exrquy::OrderExplanation> explained =
+        session.ExplainOrder(query, options);
+    if (!explained.ok()) {
+      std::fprintf(stderr, "xq: %s\n",
+                   explained.status().ToString().c_str());
+      return 1;
+    }
+    if (explained->sorts.empty()) {
+      std::printf("no sorts survive optimization: the plan is fully "
+                  "order-indifferent\n");
+      return 0;
+    }
+    for (const auto& sort : explained->sorts) {
+      std::printf("%s  [%u]", sort.label.c_str(), sort.op);
+      if (!sort.source.empty()) std::printf("  -- %s", sort.source.c_str());
+      std::printf("\n");
+      if (sort.reasons.empty()) {
+        std::printf("  rank never consumed (removable by column pruning)\n");
+      }
+      for (const std::string& reason : sort.reasons) {
+        std::printf("  ordered because: %s\n", reason.c_str());
+      }
+    }
+    return 0;
+  }
 
   if (want_plan || want_sql) {
     exrquy::Result<exrquy::QueryPlans> plans =

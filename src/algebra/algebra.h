@@ -11,7 +11,7 @@
 //   %   RowNum           — grouped, ordered dense row numbering
 //       (ROW_NUMBER() OVER (PARTITION BY c ORDER BY b)); a blocking sort
 //   #   RowId            — arbitrary unique row numbering; (nearly) free
-//   �   Fun              — per-row n-ary function (arith/compare/cast/...)
+//   ⊕   Fun              — per-row n-ary function (arith/compare/cast/...)
 //       Aggr             — grouped aggregation (count, sum, max, ..., EBV)
 //   ⊙   Step             — XPath location step (axis::nodetest)
 //       Doc              — document access (fn:doc)

@@ -166,16 +166,33 @@ std::string PlanToText(const Dag& dag, OpId root, const StrPool& strings) {
 }
 
 std::string PlanToDot(const Dag& dag, OpId root, const StrPool& strings) {
+  return PlanToDot(dag, root, strings, {});
+}
+
+std::string PlanToDot(
+    const Dag& dag, OpId root, const StrPool& strings,
+    const std::map<OpId, std::vector<std::string>>& annotations) {
   std::ostringstream out;
   out << "digraph plan {\n  node [shape=box, fontname=monospace];\n";
   for (OpId id : dag.ReachableFrom(root)) {
     const Op& op = dag.op(id);
     std::string label = OpToString(dag, id, strings);
-    // Escape double quotes for DOT.
+    auto ann = annotations.find(id);
+    if (ann != annotations.end()) {
+      for (const std::string& line : ann->second) {
+        label += "\n" + line;
+      }
+    }
+    // Escape double quotes and literal newlines for DOT.
     std::string escaped;
     for (char c : label) {
-      if (c == '"') escaped += '\\';
-      escaped += c;
+      if (c == '"') {
+        escaped += "\\\"";
+      } else if (c == '\n') {
+        escaped += "\\n";
+      } else {
+        escaped += c;
+      }
     }
     out << "  n" << id << " [label=\"" << escaped << "\"";
     if (op.kind == OpKind::kRowNum) out << ", style=filled, fillcolor=salmon";

@@ -3,7 +3,9 @@
 #ifndef EXRQUY_ALGEBRA_DOT_H_
 #define EXRQUY_ALGEBRA_DOT_H_
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "algebra/algebra.h"
 
@@ -15,6 +17,12 @@ std::string OpToString(const Dag& dag, OpId id, const StrPool& strings);
 
 // The sub-DAG rooted at `root` as a DOT digraph.
 std::string PlanToDot(const Dag& dag, OpId root, const StrPool& strings);
+
+// Same, with extra per-operator label lines (e.g. the order-provenance
+// reasons of opt/analyses.h ProvenanceAnnotations). Keeping the
+// parameter a plain map keeps this layer independent of the analyses.
+std::string PlanToDot(const Dag& dag, OpId root, const StrPool& strings,
+                      const std::map<OpId, std::vector<std::string>>& annotations);
 
 // Indented textual plan tree (EXPLAIN-style). Shared sub-plans are
 // printed once and referenced as "^<id>" afterwards.

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "algebra/dot.h"
 #include "compiler/compile.h"
+#include "opt/analyses.h"
 #include "opt/pipeline.h"
 #include "opt/verify.h"
 #include "xml/xml_parser.h"
@@ -84,6 +86,9 @@ Result<QueryPlans> Session::PlanInternal(std::string_view query,
   oopts.rewrites.weaken_rownum = options.weaken_rownum;
   oopts.rewrites.distinct_elimination = options.distinct_elimination;
   oopts.rewrites.step_merging = options.step_merging;
+  oopts.rewrites.distinct_by_keys = options.distinct_by_keys;
+  oopts.rewrites.empty_short_circuit = options.empty_short_circuit;
+  oopts.rewrites.rownum_by_keys = options.rownum_by_keys;
   oopts.verify_each_pass = options.verify_each_pass;
   oopts.strings = &strings_;
   EXRQUY_ASSIGN_OR_RETURN(
@@ -101,6 +106,32 @@ Result<QueryPlans> Session::PlanInternal(std::string_view query,
 Result<QueryPlans> Session::Plan(std::string_view query,
                                  const QueryOptions& options) {
   return PlanInternal(query, options);
+}
+
+Result<OrderExplanation> Session::ExplainOrder(std::string_view query,
+                                               const QueryOptions& options) {
+  EXRQUY_ASSIGN_OR_RETURN(QueryPlans plans, PlanInternal(query, options));
+  const Dag& dag = *plans.dag;
+  ColSet seed;
+  for (ColId c : {col::iter(), col::pos(), col::item()}) {
+    if (dag.op(plans.optimized).HasCol(c)) seed.insert(c);
+  }
+  OrderProvenance prov =
+      ComputeOrderProvenance(dag, plans.optimized, seed, &strings_);
+  OrderExplanation out;
+  for (OpId id : dag.ReachableFrom(plans.optimized)) {
+    const Op& op = dag.op(id);
+    if (op.kind != OpKind::kRowNum) continue;
+    OrderExplanation::SortPoint p;
+    p.op = id;
+    p.label = OpToString(dag, id, strings_);
+    p.source = op.prov;
+    p.reasons = prov.ReasonsFor(id, op.col);
+    out.sorts.push_back(std::move(p));
+  }
+  out.dot = PlanToDot(dag, plans.optimized, strings_,
+                      ProvenanceAnnotations(dag, plans.optimized, prov));
+  return out;
 }
 
 namespace {

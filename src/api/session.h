@@ -46,6 +46,9 @@ struct QueryOptions {
   bool weaken_rownum = true;         // constant/arbitrary cols (Section 7)
   bool distinct_elimination = true;  // '|' -> ',' (Section 4.2)
   bool step_merging = true;          // Q6/Q7 step fusion
+  bool distinct_by_keys = true;      // key columns elide Distinct
+  bool empty_short_circuit = true;   // statically empty sub-plans collapse
+  bool rownum_by_keys = true;        // keyed partitions make % rank 1
 
   // Re-verifies the plan after every optimizer pass (opt/verify.h) and
   // names the first offending rewrite on failure. Every compiled and
@@ -114,6 +117,22 @@ struct QueryPlans {
   OpId optimized = kNoOp;
 };
 
+// Why each sort that survived optimization is still there: for every %
+// in the optimized plan, the source-syntax constructs whose order demand
+// reaches its rank column (the order-provenance analysis of
+// opt/analyses.h). An empty `reasons` list means the rank is dead and a
+// further pruning pass would remove the operator.
+struct OrderExplanation {
+  struct SortPoint {
+    OpId op = kNoOp;
+    std::string label;   // operator rendering, e.g. "RowNum pos:<item>|iter"
+    std::string source;  // originating source expression, when recorded
+    std::vector<std::string> reasons;
+  };
+  std::vector<SortPoint> sorts;  // every surviving %, bottom-up
+  std::string dot;               // provenance-annotated DOT dump
+};
+
 class Session {
  public:
   Session();
@@ -137,8 +156,16 @@ class Session {
   Result<QueryPlans> Plan(std::string_view query,
                           const QueryOptions& options = {});
 
+  // Compiles and optimizes, then explains why each surviving % still
+  // sorts (xq --explain-order).
+  Result<OrderExplanation> ExplainOrder(std::string_view query,
+                                        const QueryOptions& options = {});
+
   NodeStore& store() { return store_; }
   StrPool& strings() { return strings_; }
+  // fn:doc() name -> document node, as loaded; lets callers evaluate
+  // planned sub-DAGs directly with engine/eval.h (tests, benches).
+  const std::map<StrId, NodeIdx>& documents() const { return documents_; }
 
  private:
   Result<QueryPlans> PlanInternal(std::string_view query,

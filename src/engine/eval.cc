@@ -11,7 +11,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
-#include "opt/icols.h"
+#include "opt/analyses.h"
 #include "opt/verify.h"
 #include "xml/serializer.h"
 #include "xml/step.h"

@@ -11,7 +11,7 @@
 // results are concatenated (or stably merged) in chunk order, so results
 // are byte-identical to serial evaluation regardless of thread count.
 // Intermediate tables are refcounted against their remaining consumers
-// (opt/icols.h ConsumerCounts) and released as soon as the last consumer
+// (opt/analyses.h ConsumerCounts) and released as soon as the last consumer
 // has run, shrinking peak memory from the sum of all intermediates to
 // the live frontier of the DAG.
 #ifndef EXRQUY_ENGINE_EVAL_H_

@@ -1,0 +1,865 @@
+#include "opt/analyses.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace exrquy {
+
+// ---------------------------------------------------------------------------
+// Column liveness: backward set-union analysis. The transfer edges are
+// the demand rules of Figure 8 — exactly the edges the one-shot walk in
+// the verifier's independent re-derivation uses (opt/verify.cc), which
+// cross-checks this implementation on every verified plan.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LivenessAnalysis {
+  using Fact = ColSet;
+
+  Fact Bottom(const Dag&, OpId) const { return {}; }
+
+  bool Join(Fact* into, const Fact& from) const {
+    bool changed = false;
+    for (ColId c : from) changed |= into->insert(c).second;
+    return changed;
+  }
+
+  void Transfer(const Dag& dag, OpId id, const Fact& r,
+                std::vector<Fact>* out) const {
+    const Op& op = dag.op(id);
+    // Demands a specific column of child `child` (unconditionally: the
+    // verifier audits that demanded columns are producible).
+    auto need = [&](size_t child, ColId c) {
+      if (c == kNoCol) return;
+      EXRQUY_DCHECK(dag.op(op.children[child]).HasCol(c));
+      (*out)[child].insert(c);
+    };
+    // Passes the upstream demand through to child `child`, restricted to
+    // the columns that child produces.
+    auto need_set = [&](size_t child, const ColSet& cols) {
+      const Op& ch = dag.op(op.children[child]);
+      for (ColId c : cols) {
+        if (ch.HasCol(c)) (*out)[child].insert(c);
+      }
+    };
+
+    switch (op.kind) {
+      case OpKind::kLit:
+      case OpKind::kDoc:
+        break;
+      case OpKind::kProject:
+        for (const auto& [n, o] : op.proj) {
+          if (r.count(n) != 0) need(0, o);
+        }
+        break;
+      case OpKind::kSelect:
+        need_set(0, r);
+        need(0, op.col);
+        break;
+      case OpKind::kEquiJoin:
+        need_set(0, r);
+        need_set(1, r);
+        need(0, op.col);
+        need(1, op.col2);
+        break;
+      case OpKind::kCross:
+        need_set(0, r);
+        need_set(1, r);
+        break;
+      case OpKind::kUnion:
+        need_set(0, r);
+        need_set(1, r);
+        break;
+      case OpKind::kDifference:
+      case OpKind::kSemiJoin:
+        need_set(0, r);
+        for (ColId k : op.keys) {
+          need(0, k);
+          need(1, k);
+        }
+        break;
+      case OpKind::kDistinct: {
+        // Duplicate elimination depends on every input column.
+        for (ColId c : dag.op(op.children[0]).schema) need(0, c);
+        break;
+      }
+      case OpKind::kRowNum: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        for (const SortKey& k : op.order) need(0, k.col);
+        need(0, op.part);
+        break;
+      }
+      case OpKind::kRowId: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        break;
+      }
+      case OpKind::kFun: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        for (ColId a : op.args) need(0, a);
+        break;
+      }
+      case OpKind::kAggr:
+        need(0, op.col2);
+        need(0, op.part);
+        for (ColId k : op.keys) need(0, k);
+        break;
+      case OpKind::kStep:
+        need(0, col::iter());
+        need(0, col::item());
+        break;
+      case OpKind::kElem:
+      case OpKind::kAttr:
+      case OpKind::kTextNode:
+        need(0, col::iter());
+        need(0, col::pos());
+        need(0, col::item());
+        need(1, col::iter());
+        break;
+      case OpKind::kRange:
+        need(0, col::iter());
+        need(0, op.col);
+        need(0, op.col2);
+        break;
+      case OpKind::kCardCheck:
+        need_set(0, r);
+        need(0, col::iter());
+        need(1, col::iter());
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::unordered_map<OpId, ColSet> ComputeICols(const Dag& dag, OpId root,
+                                              const ColSet& seed) {
+  BackwardDataflow<LivenessAnalysis> engine(&dag);
+  return engine.Solve(root, seed);
+}
+
+std::unordered_map<OpId, uint32_t> ConsumerCounts(const Dag& dag, OpId root) {
+  std::unordered_map<OpId, uint32_t> counts;
+  for (OpId id : dag.ReachableFrom(root)) {
+    counts.try_emplace(id, 0);
+    for (OpId c : dag.op(id).children) ++counts[c];
+  }
+  ++counts[root];
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// Constant / arbitrary-order columns: forward analysis. The transfer is
+// the per-operator rule set the old PropertyTracker applied in its
+// memoized bottom-up walk, unchanged (and deliberately without the
+// single-row saturation the verifier's independent derivation performs —
+// the claims must stay a subset of the derivable facts, not equal).
+// ---------------------------------------------------------------------------
+
+ColProps ConstArbAnalysis::Bottom(const Dag&, OpId) const { return {}; }
+
+bool ConstArbAnalysis::Join(ColProps* into, const ColProps& from) const {
+  bool changed = false;
+  for (ColId c : from.constant) changed |= into->constant.insert(c).second;
+  for (ColId c : from.arbitrary) changed |= into->arbitrary.insert(c).second;
+  return changed;
+}
+
+ColProps ConstArbAnalysis::Transfer(
+    const Dag& dag, OpId id, const std::vector<const ColProps*>& in) const {
+  const Op& op = dag.op(id);
+  ColProps out;
+  auto child = [&](size_t i) -> const ColProps& { return *in[i]; };
+  auto inherit = [&](const ColProps& p) {
+    for (ColId c : p.constant) {
+      if (op.HasCol(c)) out.constant.insert(c);
+    }
+    for (ColId c : p.arbitrary) {
+      if (op.HasCol(c)) out.arbitrary.insert(c);
+    }
+  };
+
+  switch (op.kind) {
+    case OpKind::kLit: {
+      for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+        bool constant = true;
+        for (size_t r = 1; r < op.lit.rows.size(); ++r) {
+          if (!(op.lit.rows[r][i] == op.lit.rows[0][i])) {
+            constant = false;
+            break;
+          }
+        }
+        if (constant) out.constant.insert(op.lit.cols[i]);
+      }
+      break;
+    }
+    case OpKind::kProject: {
+      const ColProps& p = child(0);
+      for (const auto& [n, o] : op.proj) {
+        if (p.constant.count(o) != 0) out.constant.insert(n);
+        if (p.arbitrary.count(o) != 0) out.arbitrary.insert(n);
+      }
+      break;
+    }
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+    case OpKind::kCardCheck:
+      inherit(child(0));
+      break;
+    case OpKind::kEquiJoin:
+    case OpKind::kCross:
+      inherit(child(0));
+      inherit(child(1));
+      break;
+    case OpKind::kUnion: {
+      // A column stays constant only if both branches are constant with
+      // the same value — value tracking is out of scope, so constancy is
+      // dropped; arbitrariness survives if both branches are arbitrary.
+      const ColProps& a = child(0);
+      const ColProps& b = child(1);
+      for (ColId c : a.arbitrary) {
+        if (b.arbitrary.count(c) != 0) out.arbitrary.insert(c);
+      }
+      break;
+    }
+    case OpKind::kRowNum:
+      inherit(child(0));
+      // The produced rank is meaningful (unless its criteria were
+      // arbitrary — but then the rewriter turns the op into # anyway).
+      break;
+    case OpKind::kRowId:
+      inherit(child(0));
+      out.arbitrary.insert(op.col);
+      break;
+    case OpKind::kFun: {
+      inherit(child(0));
+      out.constant.erase(op.col);
+      out.arbitrary.erase(op.col);
+      bool all_const = true;
+      for (ColId a : op.args) {
+        if (child(0).constant.count(a) == 0) all_const = false;
+      }
+      if (all_const) out.constant.insert(op.col);
+      break;
+    }
+    case OpKind::kAggr: {
+      const ColProps& p = child(0);
+      if (op.part != kNoCol) {
+        if (p.constant.count(op.part) != 0) out.constant.insert(op.part);
+        if (p.arbitrary.count(op.part) != 0) out.arbitrary.insert(op.part);
+      }
+      break;
+    }
+    case OpKind::kRange:
+    case OpKind::kStep:
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode: {
+      // The iter column descends from the context/loop input (child 0 for
+      // steps and ranges, child 1 — the loop — for constructors).
+      bool from_first =
+          op.kind == OpKind::kStep || op.kind == OpKind::kRange;
+      const ColProps& p = child(from_first ? 0 : 1);
+      if (p.constant.count(col::iter()) != 0) {
+        out.constant.insert(col::iter());
+      }
+      if (p.arbitrary.count(col::iter()) != 0) {
+        out.arbitrary.insert(col::iter());
+      }
+      break;
+    }
+    case OpKind::kDoc:
+      out.constant.insert(col::item());
+      break;
+  }
+  return out;
+}
+
+const ColProps& PropertyTracker::Get(OpId id) { return engine_.Get(id); }
+
+// ---------------------------------------------------------------------------
+// Cardinality intervals.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a == kUnboundedRows || b == kUnboundedRows) return kUnboundedRows;
+  uint64_t s = a + b;
+  return s < a ? kUnboundedRows : s;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kUnboundedRows || b == kUnboundedRows) return kUnboundedRows;
+  if (a > kUnboundedRows / b) return kUnboundedRows;
+  return a * b;
+}
+
+}  // namespace
+
+std::string CardRange::ToString() const {
+  std::string lo = min == kUnboundedRows ? "inf" : std::to_string(min);
+  std::string hi = max == kUnboundedRows ? "inf" : std::to_string(max);
+  return "[" + lo + "," + hi + "]";
+}
+
+CardRange CardAnalysis::Bottom(const Dag&, OpId) const { return {}; }
+
+bool CardAnalysis::Join(CardRange* into, const CardRange& from) const {
+  bool changed = false;
+  if (from.min < into->min) {
+    into->min = from.min;
+    changed = true;
+  }
+  if (from.max > into->max) {
+    into->max = from.max;
+    changed = true;
+  }
+  return changed;
+}
+
+CardRange CardAnalysis::Transfer(
+    const Dag& dag, OpId id, const std::vector<const CardRange*>& in) const {
+  const Op& op = dag.op(id);
+  auto child = [&](size_t i) -> const CardRange& { return *in[i]; };
+  CardRange out;
+  switch (op.kind) {
+    case OpKind::kLit:
+      out.min = out.max = op.lit.rows.size();
+      break;
+    case OpKind::kProject:
+    case OpKind::kRowNum:
+    case OpKind::kRowId:
+    case OpKind::kFun:
+    case OpKind::kCardCheck:
+      out = child(0);
+      break;
+    case OpKind::kSelect:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+      out.min = 0;
+      out.max = child(0).max;
+      break;
+    case OpKind::kDistinct:
+      out.min = child(0).min > 0 ? 1 : 0;
+      out.max = child(0).max;
+      break;
+    case OpKind::kEquiJoin:
+      out.min = 0;
+      out.max = SatMul(child(0).max, child(1).max);
+      break;
+    case OpKind::kCross:
+      out.min = SatMul(child(0).min, child(1).min);
+      out.max = SatMul(child(0).max, child(1).max);
+      break;
+    case OpKind::kUnion:
+      out.min = SatAdd(child(0).min, child(1).min);
+      out.max = SatAdd(child(0).max, child(1).max);
+      break;
+    case OpKind::kAggr:
+      if (op.part == kNoCol) {
+        // The whole table is one group, and the engine emits that group
+        // even for an empty input (count() = 0, EBV = false, ...).
+        out.min = out.max = 1;
+      } else {
+        out.min = child(0).min > 0 ? 1 : 0;
+        out.max = child(0).max;
+      }
+      break;
+    case OpKind::kStep:
+    case OpKind::kRange:
+      // Arbitrary fan-out per context row; empty context stays empty.
+      out.min = 0;
+      out.max = child(0).max == 0 ? 0 : kUnboundedRows;
+      break;
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode:
+      // One constructed node per row of the loop relation (child 1).
+      out = child(1);
+      break;
+    case OpKind::kDoc:
+      out.min = out.max = 1;
+      break;
+  }
+  return out;
+}
+
+const CardRange& CardTracker::Get(OpId id) { return engine_.Get(id); }
+
+// ---------------------------------------------------------------------------
+// Key columns.
+// ---------------------------------------------------------------------------
+
+ColSet KeyAnalysis::Bottom(const Dag&, OpId) const { return {}; }
+
+bool KeyAnalysis::Join(ColSet* into, const ColSet& from) const {
+  bool changed = false;
+  for (ColId c : from) changed |= into->insert(c).second;
+  return changed;
+}
+
+ColSet KeyAnalysis::Transfer(const Dag& dag, OpId id,
+                             const std::vector<const ColSet*>& in) const {
+  const Op& op = dag.op(id);
+  auto child = [&](size_t i) -> const ColSet& { return *in[i]; };
+  auto at_most_one = [&](size_t i) {
+    return cards->Get(op.children[i]).max <= 1;
+  };
+  ColSet out;
+  // Keys of a child that survive into this operator's schema.
+  auto inherit = [&](const ColSet& k) {
+    for (ColId c : op.schema) {
+      if (k.count(c) != 0) out.insert(c);
+    }
+  };
+
+  switch (op.kind) {
+    case OpKind::kLit: {
+      size_t n = op.lit.rows.size();
+      for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+        bool distinct = true;
+        for (size_t r = 0; r < n && distinct; ++r) {
+          for (size_t r2 = r + 1; r2 < n; ++r2) {
+            if (op.lit.rows[r][i] == op.lit.rows[r2][i]) {
+              distinct = false;
+              break;
+            }
+          }
+        }
+        if (distinct) out.insert(op.lit.cols[i]);
+      }
+      break;
+    }
+    case OpKind::kProject:
+      for (const auto& [n, o] : op.proj) {
+        if (child(0).count(o) != 0) out.insert(n);
+      }
+      break;
+    // Row subsets: distinct values stay distinct.
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+    case OpKind::kCardCheck:
+      inherit(child(0));
+      break;
+    case OpKind::kEquiJoin:
+    case OpKind::kCross: {
+      // A side's keys survive when each of its rows appears at most
+      // once: the other side contributes at most one match per row.
+      bool left_once;
+      bool right_once;
+      if (op.kind == OpKind::kEquiJoin) {
+        left_once = child(1).count(op.col2) != 0 || at_most_one(1);
+        right_once = child(0).count(op.col) != 0 || at_most_one(0);
+      } else {
+        left_once = at_most_one(1);
+        right_once = at_most_one(0);
+      }
+      if (left_once) inherit(child(0));
+      if (right_once) inherit(child(1));
+      break;
+    }
+    case OpKind::kUnion: {
+      // Cross-branch value reasoning is out of scope; only a statically
+      // empty branch preserves the other branch's keys.
+      if (cards->Get(op.children[0]).max == 0) {
+        inherit(child(1));
+      } else if (cards->Get(op.children[1]).max == 0) {
+        inherit(child(0));
+      }
+      break;
+    }
+    case OpKind::kRowNum:
+      inherit(child(0));
+      // A dense numbering over the whole table identifies rows; within
+      // partitions it repeats across groups.
+      if (op.part == kNoCol) out.insert(op.col);
+      break;
+    case OpKind::kRowId:
+      inherit(child(0));
+      out.insert(op.col);
+      break;
+    case OpKind::kFun:
+      inherit(child(0));
+      break;
+    case OpKind::kAggr:
+      if (op.part != kNoCol) out.insert(op.part);  // one row per group
+      break;
+    case OpKind::kStep:
+      // Document structure: every node has exactly one parent, at most
+      // one attribute of a given name, and belongs to exactly one
+      // element's attribute list.
+      switch (op.axis) {
+        case Axis::kSelf:  // a row subset of the (iter, item) context
+          inherit(child(0));
+          break;
+        case Axis::kParent:  // at most one output row per context row
+          if (child(0).count(col::iter()) != 0) out.insert(col::iter());
+          break;
+        case Axis::kChild:  // distinct parents have disjoint children
+          if (child(0).count(col::item()) != 0) out.insert(col::item());
+          break;
+        case Axis::kAttribute:
+          // Attributes of distinct elements are distinct nodes; a name
+          // test additionally caps the fan-out at one row per context.
+          if (child(0).count(col::item()) != 0) out.insert(col::item());
+          if (op.test.kind == NodeTest::Kind::kName &&
+              child(0).count(col::iter()) != 0) {
+            out.insert(col::iter());
+          }
+          break;
+        default:
+          // Descendant/ancestor/sibling subtrees of distinct context
+          // nodes can overlap: no keys survive.
+          break;
+      }
+      break;
+    case OpKind::kRange:
+      break;
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode:
+      if (child(1).count(col::iter()) != 0) out.insert(col::iter());
+      out.insert(col::item());  // distinct node identities
+      break;
+    case OpKind::kDoc:
+      break;  // single-row saturation below covers it
+  }
+  // Everything is a key of a relation with at most one row.
+  if (cards->Get(id).max <= 1) {
+    for (ColId c : op.schema) out.insert(c);
+  }
+  return out;
+}
+
+const ColSet& KeyTracker::Get(OpId id) { return engine_.Get(id); }
+
+// ---------------------------------------------------------------------------
+// Error capability.
+// ---------------------------------------------------------------------------
+
+bool RaiseAnalysis::Bottom(const Dag&, OpId) const { return false; }
+
+bool RaiseAnalysis::Join(bool* into, const bool& from) const {
+  if (from && !*into) {
+    *into = true;
+    return true;
+  }
+  return false;
+}
+
+bool RaiseAnalysis::Transfer(const Dag& dag, OpId id,
+                             const std::vector<const bool*>& in) const {
+  for (const bool* c : in) {
+    if (*c) return true;
+  }
+  const Op& op = dag.op(id);
+  switch (op.kind) {
+    case OpKind::kDoc:
+      return true;  // unknown document name
+    case OpKind::kCardCheck:
+      return true;  // can fire even on an empty input (min_card > 0)
+    case OpKind::kRange:
+      // Non-integer or oversized bounds — per input row.
+      return cards->Get(op.children[0]).max > 0;
+    case OpKind::kFun:
+      // Casts, arithmetic on non-numerics, division by zero,
+      // incomparable comparisons — all per input row. Treating every
+      // function as error-capable is conservative but only ever blocks
+      // a rewrite.
+      return cards->Get(op.children[0]).max > 0;
+    case OpKind::kAggr:
+      switch (op.aggr) {
+        case AggrKind::kSum:
+        case AggrKind::kMax:
+        case AggrKind::kMin:
+        case AggrKind::kAvg:
+          return true;  // type errors; avg/min/max of an empty group
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+bool RaiseTracker::Get(OpId id) { return engine_.Get(id); }
+
+// ---------------------------------------------------------------------------
+// Order provenance.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Classifies the internal consumption of a column by `consumer` as a
+// human-readable reason, carrying the consumer's source expression.
+std::string ReasonLabel(const Dag& dag, OpId consumer,
+                        const StrPool* strings) {
+  const Op& op = dag.op(consumer);
+  std::string what;
+  auto named = [&](StrId s) {
+    return strings != nullptr ? strings->Get(s) : std::string("?");
+  };
+  switch (op.kind) {
+    case OpKind::kRowNum:
+      what = "sort/grouping criteria of % (row numbering)";
+      break;
+    case OpKind::kSelect:
+      what = "row filter";
+      break;
+    case OpKind::kEquiJoin:
+      what = "join condition";
+      break;
+    case OpKind::kDifference:
+      what = "anti-join keys";
+      break;
+    case OpKind::kSemiJoin:
+      what = "semi-join keys";
+      break;
+    case OpKind::kDistinct:
+      what = "duplicate elimination";
+      break;
+    case OpKind::kFun:
+      what = std::string("argument of ") + FunKindName(op.fun);
+      break;
+    case OpKind::kAggr:
+      if (op.aggr == AggrKind::kStrJoin && !op.keys.empty()) {
+        what = "order-sensitive aggregation (string-join)";
+      } else {
+        what = std::string("aggregation ") + AggrKindName(op.aggr);
+      }
+      break;
+    case OpKind::kStep:
+      what = std::string("location step context (") + AxisName(op.axis) +
+             (strings != nullptr
+                  ? "::" + NodeTestToString(op.test, *strings)
+                  : std::string()) +
+             ")";
+      break;
+    case OpKind::kElem:
+      what = "element constructor <" + named(op.name) +
+             "> (content in sequence order)";
+      break;
+    case OpKind::kAttr:
+      what = "attribute constructor @" + named(op.name);
+      break;
+    case OpKind::kTextNode:
+      what = "text node constructor (content in sequence order)";
+      break;
+    case OpKind::kRange:
+      what = "range bounds ('to')";
+      break;
+    case OpKind::kCardCheck:
+      what = "cardinality check fn:" + named(op.name);
+      break;
+    default:
+      what = std::string("consumed by ") + OpKindName(op.kind);
+      break;
+  }
+  if (!op.prov.empty()) what += " -- " + op.prov;
+  return what;
+}
+
+// Mirrors LivenessAnalysis edge-for-edge, attaching a reason wherever a
+// column is consumed by the operator itself (need) and copying reasons
+// wherever demand merely passes through (need_set / Project). Because
+// every inserted column carries at least one reason, the demanded
+// column sets coincide exactly with ComputeICols — which the verifier
+// checks.
+struct ProvenanceAnalysis {
+  using Fact = std::map<ColId, std::set<uint32_t>>;
+
+  const Dag* dag = nullptr;
+  const StrPool* strings = nullptr;
+  std::vector<OrderReason>* reasons = nullptr;
+  std::map<OpId, uint32_t>* intern = nullptr;
+
+  uint32_t Reason(OpId consumer) const {
+    auto it = intern->find(consumer);
+    if (it != intern->end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(reasons->size());
+    reasons->push_back({consumer, ReasonLabel(*dag, consumer, strings)});
+    intern->emplace(consumer, id);
+    return id;
+  }
+
+  Fact Bottom(const Dag&, OpId) const { return {}; }
+
+  bool Join(Fact* into, const Fact& from) const {
+    bool changed = false;
+    for (const auto& [c, rs] : from) {
+      std::set<uint32_t>& dst = (*into)[c];
+      for (uint32_t r : rs) changed |= dst.insert(r).second;
+    }
+    return changed;
+  }
+
+  void Transfer(const Dag& dg, OpId id, const Fact& r,
+                std::vector<Fact>* out) const {
+    const Op& op = dg.op(id);
+    auto need = [&](size_t child, ColId c) {
+      if (c == kNoCol) return;
+      (*out)[child][c].insert(Reason(id));
+    };
+    auto pass = [&](size_t child, const Fact& f) {
+      const Op& ch = dg.op(op.children[child]);
+      for (const auto& [c, rs] : f) {
+        if (ch.HasCol(c)) (*out)[child][c].insert(rs.begin(), rs.end());
+      }
+    };
+
+    switch (op.kind) {
+      case OpKind::kLit:
+      case OpKind::kDoc:
+        break;
+      case OpKind::kProject:
+        for (const auto& [n, o] : op.proj) {
+          auto it = r.find(n);
+          if (it != r.end()) {
+            (*out)[0][o].insert(it->second.begin(), it->second.end());
+          }
+        }
+        break;
+      case OpKind::kSelect:
+        pass(0, r);
+        need(0, op.col);
+        break;
+      case OpKind::kEquiJoin:
+        pass(0, r);
+        pass(1, r);
+        need(0, op.col);
+        need(1, op.col2);
+        break;
+      case OpKind::kCross:
+      case OpKind::kUnion:
+        pass(0, r);
+        pass(1, r);
+        break;
+      case OpKind::kDifference:
+      case OpKind::kSemiJoin:
+        pass(0, r);
+        for (ColId k : op.keys) {
+          need(0, k);
+          need(1, k);
+        }
+        break;
+      case OpKind::kDistinct:
+        for (ColId c : dg.op(op.children[0]).schema) need(0, c);
+        break;
+      case OpKind::kRowNum: {
+        Fact p = r;
+        p.erase(op.col);
+        pass(0, p);
+        for (const SortKey& k : op.order) need(0, k.col);
+        need(0, op.part);
+        break;
+      }
+      case OpKind::kRowId: {
+        Fact p = r;
+        p.erase(op.col);
+        pass(0, p);
+        break;
+      }
+      case OpKind::kFun: {
+        Fact p = r;
+        p.erase(op.col);
+        pass(0, p);
+        for (ColId a : op.args) need(0, a);
+        break;
+      }
+      case OpKind::kAggr:
+        need(0, op.col2);
+        need(0, op.part);
+        for (ColId k : op.keys) need(0, k);
+        break;
+      case OpKind::kStep:
+        need(0, col::iter());
+        need(0, col::item());
+        break;
+      case OpKind::kElem:
+      case OpKind::kAttr:
+      case OpKind::kTextNode:
+        need(0, col::iter());
+        need(0, col::pos());
+        need(0, col::item());
+        need(1, col::iter());
+        break;
+      case OpKind::kRange:
+        need(0, col::iter());
+        need(0, op.col);
+        need(0, op.col2);
+        break;
+      case OpKind::kCardCheck:
+        pass(0, r);
+        need(0, col::iter());
+        need(1, col::iter());
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> OrderProvenance::ReasonsFor(OpId id,
+                                                     ColId col) const {
+  std::vector<std::string> out;
+  auto it = demand.find(id);
+  if (it == demand.end()) return out;
+  auto cit = it->second.find(col);
+  if (cit == it->second.end()) return out;
+  for (uint32_t r : cit->second) {
+    if (r < reasons.size()) out.push_back(reasons[r].label);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+OrderProvenance ComputeOrderProvenance(const Dag& dag, OpId root,
+                                       const ColSet& seed,
+                                       const StrPool* strings) {
+  OrderProvenance out;
+  std::map<OpId, uint32_t> intern;
+  ProvenanceAnalysis analysis{&dag, strings, &out.reasons, &intern};
+  // The root demand: the query result is serialized in sequence order.
+  uint32_t serialize = static_cast<uint32_t>(out.reasons.size());
+  out.reasons.push_back(
+      {kNoOp, "result serialization (the query result is delivered in "
+              "sequence order)"});
+  ProvenanceAnalysis::Fact seed_fact;
+  for (ColId c : seed) seed_fact[c].insert(serialize);
+  BackwardDataflow<ProvenanceAnalysis> engine(&dag, analysis);
+  out.demand = engine.Solve(root, seed_fact);
+  return out;
+}
+
+std::map<OpId, std::vector<std::string>> ProvenanceAnnotations(
+    const Dag& dag, OpId root, const OrderProvenance& prov) {
+  std::map<OpId, std::vector<std::string>> out;
+  for (OpId id : dag.ReachableFrom(root)) {
+    const Op& op = dag.op(id);
+    if (op.kind != OpKind::kRowNum) continue;
+    std::vector<std::string> lines = prov.ReasonsFor(id, op.col);
+    if (lines.empty()) {
+      lines.push_back("rank never consumed (removable by column pruning)");
+    }
+    for (std::string& l : lines) l = "ordered because: " + l;
+    out.emplace(id, std::move(lines));
+  }
+  return out;
+}
+
+}  // namespace exrquy

@@ -1,0 +1,11 @@
+#include "opt/dataflow.h"
+
+namespace exrquy {
+
+std::string DataflowStats::ToString() const {
+  return "solves=" + std::to_string(solves) +
+         " transfers=" + std::to_string(transfers) +
+         " rejoins=" + std::to_string(rejoins);
+}
+
+}  // namespace exrquy

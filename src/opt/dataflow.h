@@ -1,0 +1,195 @@
+// A generic monotone dataflow framework over the plan DAG.
+//
+// Every plan analysis in opt/ — column liveness (CDA), constant and
+// arbitrary-order columns, key columns, cardinality intervals, error
+// capability, order provenance — is an instance of the same scheme: a
+// finite-height lattice of per-operator facts, a monotone transfer
+// function, and a worklist that iterates to the least fixpoint. The two
+// engines below factor that scheme out; opt/analyses.h instantiates them
+// with the concrete domains.
+//
+// An analysis is a plain struct with:
+//
+//   using Fact = ...;                 // one lattice element per operator
+//   Fact Bottom(const Dag&, OpId);    // the least element
+//   bool Join(Fact* into, const Fact& from);  // least upper bound;
+//                                     //   returns whether *into grew
+//   // forward:  fact of an operator from the facts of its children
+//   Fact Transfer(const Dag&, OpId, const std::vector<const Fact*>& in);
+//   // backward: contributions of an operator's fact to its children
+//   void Transfer(const Dag&, OpId, const Fact& fact,
+//                 std::vector<Fact>* to_children);
+//
+// Convergence: OpIds are assigned bottom-up, so every edge points from a
+// larger id to a smaller one and ascending id order is a topological
+// order of the DAG — for free. The forward engine's worklist pops the
+// smallest pending id (children first), the backward engine's the
+// largest (parents first); on an acyclic graph each operator therefore
+// transfers exactly once and the fixpoint is reached in a single sweep.
+// The worklist re-enqueues dependents whenever a join grows a fact, so
+// the engines stay correct for any monotone transfer over any
+// finite-height lattice, not just for the single-sweep case.
+//
+// Memoization: forward facts depend only on the sub-DAG below an
+// operator, and the DAG is append-only (rewrites add operators, never
+// mutate existing ones), so ForwardDataflow caches facts across calls
+// exactly like the old PropertyTracker did across a growing DAG.
+// Backward facts depend on the chosen root and seed, so BackwardDataflow
+// solves per (root, seed) without cross-root caching.
+#ifndef EXRQUY_OPT_DATAFLOW_H_
+#define EXRQUY_OPT_DATAFLOW_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "algebra/algebra.h"
+
+namespace exrquy {
+
+// Fixpoint counters, exposed so tests can pin convergence behaviour and
+// the optimizer bench can report analysis effort.
+struct DataflowStats {
+  size_t solves = 0;     // distinct Solve invocations
+  size_t transfers = 0;  // transfer-function applications
+  size_t rejoins = 0;    // joins that grew a fact after the first visit
+
+  std::string ToString() const;
+};
+
+// Facts flow from children to parents (bottom-up). Facts are memoized
+// across Get calls and across DAG growth.
+template <typename A>
+class ForwardDataflow {
+ public:
+  using Fact = typename A::Fact;
+
+  explicit ForwardDataflow(const Dag* dag, A analysis = A())
+      : dag_(dag), analysis_(std::move(analysis)) {}
+
+  const Fact& Get(OpId id) {
+    auto it = facts_.find(id);
+    if (it == facts_.end()) {
+      Solve(id);
+      it = facts_.find(id);
+    }
+    return it->second;
+  }
+
+  const DataflowStats& stats() const { return stats_; }
+  A& analysis() { return analysis_; }
+
+ private:
+  void Solve(OpId root) {
+    ++stats_.solves;
+    // The uncached part of the reachable sub-DAG.
+    std::vector<OpId> pending;
+    std::vector<OpId> stack = {root};
+    std::unordered_set<OpId> seen = {root};
+    while (!stack.empty()) {
+      OpId id = stack.back();
+      stack.pop_back();
+      if (facts_.find(id) != facts_.end()) continue;
+      pending.push_back(id);
+      for (OpId c : dag_->op(id).children) {
+        if (seen.insert(c).second) stack.push_back(c);
+      }
+    }
+    // Reverse dependency edges among the pending operators.
+    std::unordered_map<OpId, std::vector<OpId>> parents;
+    for (OpId id : pending) {
+      for (OpId c : dag_->op(id).children) {
+        if (facts_.find(c) == facts_.end()) parents[c].push_back(id);
+      }
+    }
+    for (OpId id : pending) {
+      facts_.emplace(id, analysis_.Bottom(*dag_, id));
+    }
+    // Ascending worklist: children drain before any parent transfers.
+    std::set<OpId> work(pending.begin(), pending.end());
+    std::unordered_set<OpId> visited;
+    while (!work.empty()) {
+      OpId id = *work.begin();
+      work.erase(work.begin());
+      const Op& op = dag_->op(id);
+      std::vector<const Fact*> in;
+      in.reserve(op.children.size());
+      for (OpId c : op.children) in.push_back(&facts_.at(c));
+      Fact next = analysis_.Transfer(*dag_, id, in);
+      ++stats_.transfers;
+      if (analysis_.Join(&facts_.at(id), next)) {
+        if (!visited.insert(id).second) ++stats_.rejoins;
+        auto it = parents.find(id);
+        if (it != parents.end()) {
+          for (OpId p : it->second) work.insert(p);
+        }
+      } else {
+        visited.insert(id);
+      }
+    }
+  }
+
+  const Dag* dag_;
+  A analysis_;
+  std::unordered_map<OpId, Fact> facts_;
+  DataflowStats stats_;
+};
+
+// Facts flow from parents to children (top-down), seeded at a root.
+template <typename A>
+class BackwardDataflow {
+ public:
+  using Fact = typename A::Fact;
+
+  explicit BackwardDataflow(const Dag* dag, A analysis = A())
+      : dag_(dag), analysis_(std::move(analysis)) {}
+
+  // Least fixpoint for the sub-DAG under `root`, with `seed` joined into
+  // the root's fact. The result holds one fact per reachable operator.
+  std::unordered_map<OpId, Fact> Solve(OpId root, const Fact& seed) {
+    ++stats_.solves;
+    std::unordered_map<OpId, Fact> facts;
+    std::vector<OpId> order = dag_->ReachableFrom(root);
+    for (OpId id : order) {
+      facts.emplace(id, analysis_.Bottom(*dag_, id));
+    }
+    analysis_.Join(&facts.at(root), seed);
+    // Descending worklist: every parent drains before its children.
+    std::set<OpId, std::greater<OpId>> work(order.begin(), order.end());
+    std::unordered_set<OpId> visited;
+    while (!work.empty()) {
+      OpId id = *work.begin();
+      work.erase(work.begin());
+      visited.insert(id);
+      const Op& op = dag_->op(id);
+      std::vector<Fact> contrib;
+      contrib.reserve(op.children.size());
+      for (OpId c : op.children) contrib.push_back(analysis_.Bottom(*dag_, c));
+      analysis_.Transfer(*dag_, id, facts.at(id), &contrib);
+      ++stats_.transfers;
+      for (size_t i = 0; i < op.children.size(); ++i) {
+        OpId c = op.children[i];
+        if (analysis_.Join(&facts.at(c), contrib[i])) {
+          if (visited.count(c) != 0) ++stats_.rejoins;
+          work.insert(c);
+        }
+      }
+    }
+    return facts;
+  }
+
+  const DataflowStats& stats() const { return stats_; }
+  A& analysis() { return analysis_; }
+
+ private:
+  const Dag* dag_;
+  A analysis_;
+  DataflowStats stats_;
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_OPT_DATAFLOW_H_

@@ -20,6 +20,9 @@ constexpr NamedRewrite kNamedRewrites[] = {
     {"weaken_rownum", &RewriteOptions::weaken_rownum},
     {"distinct_elimination", &RewriteOptions::distinct_elimination},
     {"step_merging", &RewriteOptions::step_merging},
+    {"distinct_by_keys", &RewriteOptions::distinct_by_keys},
+    {"empty_short_circuit", &RewriteOptions::empty_short_circuit},
+    {"rownum_by_keys", &RewriteOptions::rownum_by_keys},
 };
 
 Status VerifyFailure(const Dag& dag, OpId bad_root,
@@ -44,10 +47,7 @@ Status AttributeFailure(Dag* dag, OpId before, const OptimizeOptions& options,
   for (const NamedRewrite& r : kNamedRewrites) {
     if (!(options.rewrites.*(r.flag))) continue;
     RewriteOptions solo;
-    solo.column_pruning = false;
-    solo.weaken_rownum = false;
-    solo.distinct_elimination = false;
-    solo.step_merging = false;
+    for (const NamedRewrite& off : kNamedRewrites) solo.*(off.flag) = false;
     solo.*(r.flag) = true;
     bool changed = false;
     current = RewriteOnce(dag, current, solo, &changed);

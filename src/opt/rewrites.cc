@@ -4,8 +4,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
-#include "opt/icols.h"
-#include "opt/properties.h"
+#include "opt/analyses.h"
 
 namespace exrquy {
 namespace {
@@ -13,7 +12,12 @@ namespace {
 class Rewriter {
  public:
   Rewriter(Dag* dag, const RewriteOptions& options)
-      : dag_(dag), options_(options), props_(dag) {}
+      : dag_(dag),
+        options_(options),
+        props_(dag),
+        cards_(dag),
+        keys_(dag, &cards_),
+        raise_(dag, &cards_) {}
 
   OpId Run(OpId root, bool* changed) {
     icols_ = ComputeICols(*dag_, root,
@@ -123,6 +127,14 @@ class Rewriter {
     const Op& op = dag_->op(id);
     const ColSet& required = Required(id);
 
+    // A sub-plan that provably produces no rows is an empty literal —
+    // unless evaluating it could raise a dynamic error (an empty literal
+    // never raises, so collapsing would change error semantics).
+    if (options_.empty_short_circuit && op.kind != OpKind::kLit &&
+        cards_.Get(id).max == 0 && !raise_.Get(id)) {
+      return dag_->Empty(op.schema);
+    }
+
     switch (op.kind) {
       case OpKind::kLit:
       case OpKind::kDoc:
@@ -219,6 +231,12 @@ class Rewriter {
             }
           }
         }
+        if (options_.distinct_by_keys) {
+          // A duplicate-free column makes whole rows pairwise distinct,
+          // and a single-row input trivially has no duplicates.
+          if (cards_.Get(c).max <= 1) return c;
+          if (!keys_.Get(c).empty()) return c;
+        }
         return dag_->Distinct(c);
       }
 
@@ -226,6 +244,14 @@ class Rewriter {
         OpId c = Child(op, 0);
         if (options_.column_pruning && required.count(op.col) == 0) {
           return c;  // the rank is never consumed: drop the sort
+        }
+        if (options_.rownum_by_keys &&
+            (cards_.Get(c).max <= 1 ||
+             (op.part != kNoCol && keys_.Get(c).count(op.part) != 0))) {
+          // Every partition holds at most one row (the partition column
+          // is a key, or the input is a single row): each row ranks 1
+          // and the blocking sort vanishes.
+          return dag_->AttachConst(c, op.col, Value::Int(1));
         }
         std::vector<SortKey> order = op.order;
         ColId part = op.part;
@@ -329,6 +355,9 @@ class Rewriter {
   Dag* dag_;
   const RewriteOptions& options_;
   PropertyTracker props_;
+  CardTracker cards_;
+  KeyTracker keys_;   // depends on cards_
+  RaiseTracker raise_;  // depends on cards_
   std::unordered_map<OpId, ColSet> icols_;
   std::unordered_map<OpId, OpId> map_;
 };

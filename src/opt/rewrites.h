@@ -1,7 +1,7 @@
 // Plan rewrites driven by column dependency analysis and column
 // properties:
 //
-//  * column pruning — dead %, #, � and attached constants are removed;
+//  * column pruning — dead %, #, ⊕ and attached constants are removed;
 //    projections are narrowed and composed (Section 4.1, Figure 9),
 //  * % weakening — order/grouping criteria that are constant are dropped;
 //    a % ordered (only) by arbitrary-order columns with no meaningful
@@ -12,7 +12,22 @@
 //    (Section 4.2, Figure 10),
 //  * step merging — descendant-or-self::node()/child::nt becomes
 //    descendant::nt once the intervening order derivation is gone (the
-//    exceptional Q6/Q7 speedups of Section 5).
+//    exceptional Q6/Q7 speedups of Section 5),
+//
+// plus the fact-driven rewrites unlocked by the dataflow analyses
+// (opt/analyses.h):
+//
+//  * key-based distinct elimination — Distinct whose input has a key
+//    column (or at most one row) is dropped: a duplicate-free column
+//    makes the whole rows pairwise distinct,
+//  * empty-plan short-circuiting — a sub-plan with a statically-zero row
+//    bound collapses to an empty literal, provided evaluating it can
+//    never raise a dynamic error (the error capability analysis gates
+//    this, so error semantics are preserved),
+//  * key-justified % collapse — a % whose partition column is a key of
+//    its input (or whose input has at most one row) ranks singleton
+//    groups; the rank is the constant 1 and the blocking sort vanishes
+//    without consuming the order demand.
 #ifndef EXRQUY_OPT_REWRITES_H_
 #define EXRQUY_OPT_REWRITES_H_
 
@@ -25,6 +40,10 @@ struct RewriteOptions {
   bool weaken_rownum = true;
   bool distinct_elimination = true;
   bool step_merging = true;
+  // Fact-driven rewrites (key / cardinality / error-capability analyses).
+  bool distinct_by_keys = true;
+  bool empty_short_circuit = true;
+  bool rownum_by_keys = true;
 };
 
 // One rewrite pass over the sub-DAG rooted at `root`; returns the new

@@ -4,7 +4,6 @@
 #include <string>
 #include <vector>
 
-#include "opt/properties.h"
 
 namespace exrquy {
 namespace {
@@ -405,6 +404,22 @@ void SaturateSingleRow(const Op& op, OpFacts* f) {
   }
 }
 
+// Deliberately local saturating arithmetic (not shared with
+// opt/analyses.cc): the whole point of the fact base is that it is
+// derived independently of the implementation it audits.
+uint64_t BoundAdd(uint64_t a, uint64_t b) {
+  if (a == kUnboundedRows || b == kUnboundedRows) return kUnboundedRows;
+  uint64_t s = a + b;
+  return s < a ? kUnboundedRows : s;
+}
+
+uint64_t BoundMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kUnboundedRows || b == kUnboundedRows) return kUnboundedRows;
+  if (a > kUnboundedRows / b) return kUnboundedRows;
+  return a * b;
+}
+
 OpFacts DeriveOpFacts(const Dag& dag, OpId id,
                       const std::unordered_map<OpId, OpFacts>& facts) {
   const Op& op = dag.op(id);
@@ -425,8 +440,7 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
   switch (op.kind) {
     case OpKind::kLit: {
       size_t n = op.lit.rows.size();
-      out.no_rows = n == 0;
-      out.at_most_one_row = n <= 1;
+      out.min_rows = out.max_rows = n;
       for (size_t i = 0; i < op.lit.cols.size(); ++i) {
         bool constant = true;
         bool distinct = true;
@@ -446,8 +460,8 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
     }
     case OpKind::kProject: {
       const OpFacts& f = child(0);
-      out.at_most_one_row = f.at_most_one_row;
-      out.no_rows = f.no_rows;
+      out.min_rows = f.min_rows;
+      out.max_rows = f.max_rows;
       for (const auto& [n, o] : op.proj) {
         if (f.constant.count(o) != 0) out.constant.insert(n);
         if (f.arbitrary.count(o) != 0) out.arbitrary.insert(n);
@@ -455,15 +469,29 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
       }
       break;
     }
-    // Row subsets: every per-column fact survives.
+    // Row subsets: every per-column fact survives; only the lower row
+    // bound is lost (CardCheck is row-preserving when it succeeds, and a
+    // failing check produces no table at all).
     case OpKind::kSelect:
-    case OpKind::kDistinct:
     case OpKind::kDifference:
-    case OpKind::kSemiJoin:
+    case OpKind::kSemiJoin: {
+      const OpFacts& f = child(0);
+      out.min_rows = 0;
+      out.max_rows = f.max_rows;
+      inherit(f, /*keep_keys=*/true);
+      break;
+    }
+    case OpKind::kDistinct: {
+      const OpFacts& f = child(0);
+      out.min_rows = f.min_rows > 0 ? 1 : 0;
+      out.max_rows = f.max_rows;
+      inherit(f, /*keep_keys=*/true);
+      break;
+    }
     case OpKind::kCardCheck: {
       const OpFacts& f = child(0);
-      out.at_most_one_row = f.at_most_one_row;
-      out.no_rows = f.no_rows;
+      out.min_rows = f.min_rows;
+      out.max_rows = f.max_rows;
       inherit(f, /*keep_keys=*/true);
       break;
     }
@@ -471,8 +499,12 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
     case OpKind::kCross: {
       const OpFacts& l = child(0);
       const OpFacts& r = child(1);
-      out.at_most_one_row = l.at_most_one_row && r.at_most_one_row;
-      out.no_rows = l.no_rows || r.no_rows;
+      if (op.kind == OpKind::kCross) {
+        out.min_rows = BoundMul(l.min_rows, r.min_rows);
+      } else {
+        out.min_rows = 0;
+      }
+      out.max_rows = BoundMul(l.max_rows, r.max_rows);
       inherit(l, /*keep_keys=*/false);
       inherit(r, /*keep_keys=*/false);
       // A side's keys survive when each of its rows appears at most once:
@@ -497,9 +529,8 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
     case OpKind::kUnion: {
       const OpFacts& l = child(0);
       const OpFacts& r = child(1);
-      out.no_rows = l.no_rows && r.no_rows;
-      out.at_most_one_row =
-          (l.no_rows && r.at_most_one_row) || (r.no_rows && l.at_most_one_row);
+      out.min_rows = BoundAdd(l.min_rows, r.min_rows);
+      out.max_rows = BoundAdd(l.max_rows, r.max_rows);
       if (l.no_rows) {
         inherit(r, /*keep_keys=*/true);
       } else if (r.no_rows) {
@@ -515,8 +546,8 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
     }
     case OpKind::kRowNum: {
       const OpFacts& f = child(0);
-      out.at_most_one_row = f.at_most_one_row;
-      out.no_rows = f.no_rows;
+      out.min_rows = f.min_rows;
+      out.max_rows = f.max_rows;
       inherit(f, /*keep_keys=*/true);
       // A dense numbering over the whole table identifies rows; within
       // partitions it repeats across groups.
@@ -525,8 +556,8 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
     }
     case OpKind::kRowId: {
       const OpFacts& f = child(0);
-      out.at_most_one_row = f.at_most_one_row;
-      out.no_rows = f.no_rows;
+      out.min_rows = f.min_rows;
+      out.max_rows = f.max_rows;
       inherit(f, /*keep_keys=*/true);
       out.keys.insert(op.col);
       out.arbitrary.insert(op.col);  // # numbers in arbitrary order
@@ -534,8 +565,8 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
     }
     case OpKind::kFun: {
       const OpFacts& f = child(0);
-      out.at_most_one_row = f.at_most_one_row;
-      out.no_rows = f.no_rows;
+      out.min_rows = f.min_rows;
+      out.max_rows = f.max_rows;
       inherit(f, /*keep_keys=*/true);
       bool all_const = true;
       for (ColId a : op.args) {
@@ -546,8 +577,14 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
     }
     case OpKind::kAggr: {
       const OpFacts& f = child(0);
-      out.at_most_one_row = f.at_most_one_row || op.part == kNoCol;
-      out.no_rows = op.part != kNoCol && f.no_rows;
+      if (op.part == kNoCol) {
+        // The whole table is one group; the engine emits that group even
+        // for an empty input (count() = 0, EBV = false, ...).
+        out.min_rows = out.max_rows = 1;
+      } else {
+        out.min_rows = f.min_rows > 0 ? 1 : 0;
+        out.max_rows = f.max_rows;
+      }
       if (op.part != kNoCol) {
         if (f.constant.count(op.part) != 0) out.constant.insert(op.part);
         if (f.arbitrary.count(op.part) != 0) out.arbitrary.insert(op.part);
@@ -555,12 +592,52 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
       }
       break;
     }
-    case OpKind::kStep:
-    case OpKind::kRange: {
+    case OpKind::kStep: {
       // (iter, item) rows fanned out from the context; iter facts flow
-      // through, cardinality does not.
+      // through, cardinality does not (an empty context stays empty).
       const OpFacts& f = child(0);
-      out.no_rows = f.no_rows;
+      out.min_rows = 0;
+      out.max_rows = f.max_rows == 0 ? 0 : kUnboundedRows;
+      if (f.constant.count(col::iter()) != 0) {
+        out.constant.insert(col::iter());
+      }
+      if (f.arbitrary.count(col::iter()) != 0) {
+        out.arbitrary.insert(col::iter());
+      }
+      // Document structure: every node has exactly one parent, at most
+      // one attribute of a given name, and belongs to exactly one
+      // element's attribute list.
+      switch (op.axis) {
+        case Axis::kSelf:  // a row subset of the (iter, item) context
+          if (f.keys.count(col::iter()) != 0) out.keys.insert(col::iter());
+          if (f.keys.count(col::item()) != 0) out.keys.insert(col::item());
+          break;
+        case Axis::kParent:  // at most one output row per context row
+          if (f.keys.count(col::iter()) != 0) out.keys.insert(col::iter());
+          break;
+        case Axis::kChild:  // distinct parents have disjoint children
+          if (f.keys.count(col::item()) != 0) out.keys.insert(col::item());
+          break;
+        case Axis::kAttribute:
+          // Attributes of distinct elements are distinct nodes; a name
+          // test additionally caps the fan-out at one row per context.
+          if (f.keys.count(col::item()) != 0) out.keys.insert(col::item());
+          if (op.test.kind == NodeTest::Kind::kName &&
+              f.keys.count(col::iter()) != 0) {
+            out.keys.insert(col::iter());
+          }
+          break;
+        default:
+          // Descendant/ancestor/sibling subtrees of distinct context
+          // nodes can overlap: no keys survive.
+          break;
+      }
+      break;
+    }
+    case OpKind::kRange: {
+      const OpFacts& f = child(0);
+      out.min_rows = 0;
+      out.max_rows = f.max_rows == 0 ? 0 : kUnboundedRows;
       if (f.constant.count(col::iter()) != 0) {
         out.constant.insert(col::iter());
       }
@@ -574,8 +651,8 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
     case OpKind::kTextNode: {
       // One fresh node per row of the loop relation (child 1).
       const OpFacts& loop = child(1);
-      out.at_most_one_row = loop.at_most_one_row;
-      out.no_rows = loop.no_rows;
+      out.min_rows = loop.min_rows;
+      out.max_rows = loop.max_rows;
       if (loop.constant.count(col::iter()) != 0) {
         out.constant.insert(col::iter());
       }
@@ -587,11 +664,140 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
       break;
     }
     case OpKind::kDoc:
-      out.at_most_one_row = true;
+      out.min_rows = out.max_rows = 1;
       break;
   }
+  out.at_most_one_row = out.max_rows <= 1;
+  out.no_rows = out.max_rows == 0;
   if (out.at_most_one_row) SaturateSingleRow(op, &out);
   return out;
+}
+
+// The pre-framework one-shot liveness walk, preserved verbatim as the
+// independent reference for auditing the dataflow-framework ComputeICols:
+// parents first in reverse topological (descending id) order, one
+// transfer each. Any divergence between this and the framework result is
+// a framework bug, not a plan bug — but it must surface here rather than
+// as a silent mis-pruning.
+std::unordered_map<OpId, ColSet> DeriveLiveColumns(const Dag& dag, OpId root,
+                                                   const ColSet& seed) {
+  std::unordered_map<OpId, ColSet> icols;
+  icols[root] = seed;
+
+  std::vector<OpId> order = dag.ReachableFrom(root);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    OpId id = *it;
+    const Op& op = dag.op(id);
+    const ColSet& r = icols[id];
+
+    auto need = [&](size_t child, ColId c) {
+      if (c == kNoCol) return;
+      icols[op.children[child]].insert(c);
+    };
+    auto need_set = [&](size_t child, const ColSet& cols) {
+      const Op& ch = dag.op(op.children[child]);
+      for (ColId c : cols) {
+        if (ch.HasCol(c)) icols[op.children[child]].insert(c);
+      }
+    };
+
+    switch (op.kind) {
+      case OpKind::kLit:
+      case OpKind::kDoc:
+        break;
+      case OpKind::kProject:
+        for (const auto& [n, o] : op.proj) {
+          if (r.count(n) != 0) need(0, o);
+        }
+        break;
+      case OpKind::kSelect:
+        need_set(0, r);
+        need(0, op.col);
+        break;
+      case OpKind::kEquiJoin:
+        need_set(0, r);
+        need_set(1, r);
+        need(0, op.col);
+        need(1, op.col2);
+        break;
+      case OpKind::kCross:
+      case OpKind::kUnion:
+        need_set(0, r);
+        need_set(1, r);
+        break;
+      case OpKind::kDifference:
+      case OpKind::kSemiJoin:
+        need_set(0, r);
+        for (ColId k : op.keys) {
+          need(0, k);
+          need(1, k);
+        }
+        break;
+      case OpKind::kDistinct:
+        for (ColId c : dag.op(op.children[0]).schema) need(0, c);
+        break;
+      case OpKind::kRowNum: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        for (const SortKey& k : op.order) need(0, k.col);
+        need(0, op.part);
+        break;
+      }
+      case OpKind::kRowId: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        break;
+      }
+      case OpKind::kFun: {
+        ColSet pass = r;
+        pass.erase(op.col);
+        need_set(0, pass);
+        for (ColId a : op.args) need(0, a);
+        break;
+      }
+      case OpKind::kAggr:
+        need(0, op.col2);
+        need(0, op.part);
+        for (ColId k : op.keys) need(0, k);
+        break;
+      case OpKind::kStep:
+        need(0, col::iter());
+        need(0, col::item());
+        break;
+      case OpKind::kElem:
+      case OpKind::kAttr:
+      case OpKind::kTextNode:
+        need(0, col::iter());
+        need(0, col::pos());
+        need(0, col::item());
+        need(1, col::iter());
+        break;
+      case OpKind::kRange:
+        need(0, col::iter());
+        need(0, op.col);
+        need(0, op.col2);
+        break;
+      case OpKind::kCardCheck:
+        need_set(0, r);
+        need(0, col::iter());
+        need(1, col::iter());
+        break;
+    }
+  }
+  return icols;
+}
+
+std::string ColSetToString(const ColSet& cols) {
+  std::string out = "{";
+  bool first = true;
+  for (ColId c : cols) {
+    if (!first) out += ",";
+    first = false;
+    out += ColName(c);
+  }
+  return out + "}";
 }
 
 }  // namespace
@@ -634,6 +840,22 @@ Status CheckClaims(const Dag& dag, OpId id, const OpFacts& claimed,
   return Status::Ok();
 }
 
+Status CheckCardClaim(const Dag& dag, OpId id, const CardRange& claimed,
+                      const OpFacts& derived) {
+  // Sound iff the derived interval is contained in the claimed one: a
+  // claim tighter than what is independently derivable could exclude a
+  // row count the plan can actually produce.
+  if (claimed.min > derived.min_rows || claimed.max < derived.max_rows) {
+    CardRange d;
+    d.min = derived.min_rows;
+    d.max = derived.max_rows;
+    return Fail(dag, id, "cardinality-claim",
+                "claimed row bounds " + claimed.ToString() +
+                    " do not contain the derivable bounds " + d.ToString());
+  }
+  return Status::Ok();
+}
+
 Status VerifyPlan(const Dag& dag, OpId root, const VerifyOptions& options) {
   std::vector<OpId> order;
   // Structure must hold before anything else may walk the DAG.
@@ -645,16 +867,24 @@ Status VerifyPlan(const Dag& dag, OpId root, const VerifyOptions& options) {
     }
   }
   if (options.check_properties) {
-    // Audit the property claims that license % weakening against an
+    // Audit every claim the optimizer's analyses make — constant /
+    // arbitrary-order columns (license % weakening), key columns
+    // (license Distinct elimination and keyed % collapse) and row-count
+    // bounds (license the empty-plan short-circuit) — against an
     // independent derivation.
     std::unordered_map<OpId, OpFacts> facts = DeriveFacts(dag, root);
     PropertyTracker tracker(&dag);
+    CardTracker cards(&dag);
+    KeyTracker keys(&dag, &cards);
     for (OpId id : order) {
       const ColProps& claimed = tracker.Get(id);
       OpFacts claim;
       claim.constant = claimed.constant;
       claim.arbitrary = claimed.arbitrary;
+      claim.keys = keys.Get(id);
       EXRQUY_RETURN_IF_ERROR(CheckClaims(dag, id, claim, facts.at(id)));
+      EXRQUY_RETURN_IF_ERROR(
+          CheckCardClaim(dag, id, cards.Get(id), facts.at(id)));
     }
     // The column dependency analysis must only ever demand columns the
     // operator produces — otherwise CDA pruning has deleted (or could
@@ -673,6 +903,54 @@ Status VerifyPlan(const Dag& dag, OpId root, const VerifyOptions& options) {
                       "dependency analysis requires column '" + ColName(c) +
                           "' which the operator cannot produce");
         }
+      }
+    }
+    // The framework liveness must agree exactly with the preserved
+    // one-shot walk it replaced.
+    std::unordered_map<OpId, ColSet> reference =
+        DeriveLiveColumns(dag, root, seed);
+    for (OpId id : order) {
+      const ColSet& got = icols[id];
+      const ColSet& want = reference[id];
+      if (got != want) {
+        return Fail(dag, id, "liveness-equivalence",
+                    "framework liveness " + ColSetToString(got) +
+                        " differs from the reference walk " +
+                        ColSetToString(want));
+      }
+    }
+    // Order provenance is liveness with attribution: it must demand
+    // exactly the live columns, and every demanded column must carry at
+    // least one in-range reason.
+    OrderProvenance prov =
+        ComputeOrderProvenance(dag, root, seed, /*strings=*/nullptr);
+    for (OpId id : order) {
+      const ColSet& live = icols[id];
+      auto dit = prov.demand.find(id);
+      ColSet domain;
+      if (dit != prov.demand.end()) {
+        for (const auto& [c, reasons] : dit->second) {
+          domain.insert(c);
+          if (reasons.empty()) {
+            return Fail(dag, id, "order-provenance",
+                        "demanded column '" + ColName(c) +
+                            "' carries no attributed reason");
+          }
+          for (uint32_t rid : reasons) {
+            if (rid >= prov.reasons.size()) {
+              return Fail(dag, id, "order-provenance",
+                          "reason id " + std::to_string(rid) +
+                              " out of range for column '" + ColName(c) +
+                              "'");
+            }
+          }
+        }
+      }
+      if (domain != live) {
+        return Fail(dag, id, "order-provenance",
+                    "provenance demand " + ColSetToString(domain) +
+                        " differs from live columns " +
+                        ColSetToString(live));
       }
     }
   }

@@ -16,14 +16,22 @@
 //                    per-FunKind arities and per-Aggr argument rules
 //                    hold, and the stored schema matches an independent
 //                    re-derivation;
-//  (3) properties  — the constant/arbitrary-order claims made by
-//                    PropertyTracker (which license % weakening) are
-//                    cross-checked against an independently derived
-//                    fact base (OpFacts: constants, order-meaningless
-//                    columns, keys, cardinality bounds), and the column
-//                    dependency analysis never demands a column an
+//  (3) properties  — every fact the optimizer's dataflow analyses claim
+//                    (opt/analyses.h) is cross-checked against an
+//                    independently derived fact base (OpFacts: constants,
+//                    order-meaningless columns, keys, row-count bounds):
+//                    PropertyTracker's constant/arbitrary claims (which
+//                    license % weakening), KeyTracker's key claims (which
+//                    license Distinct elimination and keyed % collapse),
+//                    and CardTracker's intervals (which license the
+//                    empty-plan short-circuit) must all be derivable; the
+//                    column dependency analysis never demands a column an
 //                    operator cannot produce (so CDA pruning can never
-//                    have deleted a live column).
+//                    have deleted a live column) and must agree exactly
+//                    with a preserved copy of the pre-framework one-shot
+//                    walk; and the order-provenance analysis must demand
+//                    exactly the live columns, with every demanded column
+//                    carrying at least one attributed reason.
 //
 // Diagnostics are stable and test-assertable:
 //   plan verifier: [<invariant>] op <id> (<OpKind>): <detail>
@@ -34,7 +42,7 @@
 
 #include "algebra/algebra.h"
 #include "common/status.h"
-#include "opt/icols.h"
+#include "opt/analyses.h"
 
 namespace exrquy {
 
@@ -56,6 +64,10 @@ struct OpFacts {
   ColSet constant;    // every row holds the same value
   ColSet arbitrary;   // relative order carries no semantic information
   ColSet keys;        // no two rows share a value (row-identifying)
+  // Sound row-count bounds; at_most_one_row / no_rows are derived views
+  // (max_rows <= 1 / max_rows == 0) kept for claim-audit convenience.
+  uint64_t min_rows = 0;
+  uint64_t max_rows = kUnboundedRows;
   bool at_most_one_row = false;
   bool no_rows = false;  // statically empty (e.g. a 0-row literal)
 };
@@ -70,6 +82,13 @@ std::unordered_map<OpId, OpFacts> DeriveFacts(const Dag& dag, OpId root);
 // "[property-claim]" diagnostic.
 Status CheckClaims(const Dag& dag, OpId id, const OpFacts& claimed,
                    const OpFacts& derived);
+
+// Checks a claimed row-count interval for `id` against independently
+// derived bounds: the claim is sound only if it contains the derived
+// interval. Returns the first violation as a "[cardinality-claim]"
+// diagnostic.
+Status CheckCardClaim(const Dag& dag, OpId id, const CardRange& claimed,
+                      const OpFacts& derived);
 
 // Verifies the sub-plan rooted at `root`. Cheap: one pass per enabled
 // analysis over the reachable sub-DAG, no allocation proportional to the

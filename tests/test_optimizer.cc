@@ -8,9 +8,8 @@
 
 #include "algebra/algebra.h"
 #include "algebra/stats.h"
-#include "opt/icols.h"
+#include "opt/analyses.h"
 #include "opt/pipeline.h"
-#include "opt/properties.h"
 
 namespace exrquy {
 namespace {
@@ -145,8 +144,10 @@ TEST_F(OptimizerTest, WeakenArbitraryOrderBecomesRowId) {
 
 TEST_F(OptimizerTest, WeakenKeepsMeaningfulPartition) {
   // Grouped % with a non-constant partition must survive even if the
-  // criteria are arbitrary (per-group density matters).
-  OpId l = Triples({{1, 1, 5}, {2, 1, 7}});
+  // criteria are arbitrary (per-group density matters). The iter values
+  // repeat so the partition column is not a key (which would license
+  // the keyed % collapse instead).
+  OpId l = Triples({{1, 1, 5}, {1, 2, 7}, {2, 1, 9}});
   ColId b = ColSym("b8");
   OpId rid = dag_.RowId(l, b);
   ColId rank = ColSym("r8");
@@ -167,6 +168,9 @@ TEST_F(OptimizerTest, WeakenDisabledKeepsRowNum) {
                                 {item(), item()}});
   RewriteOptions rewrites;
   rewrites.weaken_rownum = false;
+  // The single-row literal would trigger the keyed % collapse; this test
+  // pins the weaken flag specifically.
+  rewrites.rownum_by_keys = false;
   OpId opt = Opt(proj, rewrites);
   EXPECT_EQ(CollectPlanStats(dag_, opt).rownum_ops, 1u);
 }
@@ -294,6 +298,86 @@ TEST_F(OptimizerTest, DisabledPipelineIsIdentity) {
   OptimizeOptions options;
   options.enable = false;
   EXPECT_EQ(*Optimize(&dag_, rn, options), rn);
+}
+
+TEST_F(OptimizerTest, DistinctRemovedWhenChildHasKeyColumn) {
+  // item is pairwise distinct, so the key analysis proves the input
+  // duplicate-free — the Distinct is a no-op. No structural rule (step
+  // disjointness) applies here; only the new fact justifies the prune.
+  OpId l = Triples({{1, 1, 5}, {1, 1, 7}, {1, 1, 9}});
+  OpId dist = dag_.Distinct(l);
+  OpId opt = Opt(dist);
+  EXPECT_EQ(opt, l);
+
+  RewriteOptions off;
+  off.distinct_by_keys = false;
+  EXPECT_EQ(CollectPlanStats(dag_, Opt(dist, off)).distinct_ops, 1u);
+}
+
+TEST_F(OptimizerTest, DistinctRemovedForAtMostOneRow) {
+  // One row can't contain duplicates: the cardinality interval [1,1]
+  // licenses the prune even though no column is a key... and here every
+  // column IS trivially a key, so disable that path to isolate the
+  // cardinality one.
+  OpId l = Triples({{1, 1, 5}});
+  OpId sel = dag_.Select(dag_.Fun(l, FunKind::kEq, ColSym("eq12"),
+                                  {pos(), item()}),
+                         ColSym("eq12"));
+  OpId dist = dag_.Distinct(sel);
+  OpId opt = Opt(dist);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).distinct_ops, 0u);
+}
+
+TEST_F(OptimizerTest, EmptyPlanShortCircuits) {
+  // A join against a statically empty input can't produce rows and
+  // can't raise: the whole subtree collapses to an empty literal.
+  OpId l = Triples({{1, 1, 5}, {1, 2, 7}});
+  OpId empty = dag_.Empty({iter(), pos(), item()});
+  ColId i2 = ColSym("i13");
+  OpId right = dag_.Project(empty, {{i2, iter()}});
+  OpId j = dag_.EquiJoin(l, right, iter(), i2);
+  OpId opt = Opt(j);
+  const Op& root = dag_.op(opt);
+  EXPECT_EQ(root.kind, OpKind::kLit);
+  EXPECT_TRUE(root.lit.rows.empty());
+  EXPECT_EQ(CollectPlanStats(dag_, opt).total_ops, 1u);
+
+  RewriteOptions off;
+  off.empty_short_circuit = false;
+  EXPECT_GT(CollectPlanStats(dag_, Opt(j, off)).total_ops, 1u);
+}
+
+TEST_F(OptimizerTest, EmptyShortCircuitSparesRaisingOps) {
+  // fn:exactly-one over a statically empty input yields no rows but DOES
+  // raise at runtime — the error capability analysis must block the
+  // collapse or optimization would change observable behaviour.
+  StrPool strings;
+  OpId loop = Loop1();
+  OpId empty = dag_.Empty({iter(), pos(), item()});
+  OpId cc = dag_.CardCheck(empty, loop, 1, 1,
+                           strings.Intern("exactly-one"));
+  OpId opt = Opt(cc);
+  bool has_card_check = false;
+  for (OpId id : dag_.ReachableFrom(opt)) {
+    if (dag_.op(id).kind == OpKind::kCardCheck) has_card_check = true;
+  }
+  EXPECT_TRUE(has_card_check);
+}
+
+TEST_F(OptimizerTest, RowNumCollapsesWhenPartitionIsKey) {
+  // % partitioned by a key column: every partition has exactly one row,
+  // so every rank is 1 — the sort becomes an attached constant.
+  OpId l = Triples({{1, 1, 5}, {1, 2, 7}, {2, 1, 9}});  // item is a key
+  ColId rank = ColSym("r14");
+  OpId rn = dag_.RowNum(l, rank, {{pos(), false}}, item());
+  OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), rank},
+                                {item(), item()}});
+  OpId opt = Opt(proj);
+  EXPECT_EQ(CollectPlanStats(dag_, opt).rownum_ops, 0u);
+
+  RewriteOptions off;
+  off.rownum_by_keys = false;
+  EXPECT_EQ(CollectPlanStats(dag_, Opt(proj, off)).rownum_ops, 1u);
 }
 
 TEST_F(OptimizerTest, EmptyUnionBranchRemoved) {

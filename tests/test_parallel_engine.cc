@@ -252,7 +252,7 @@ TEST_F(ParallelEngineTest, ErrorsInFuzzNeverHang) {
 }
 
 // ---------------------------------------------------------------------
-// Memory: refcounted intermediate release (opt/icols.h ConsumerCounts).
+// Memory: refcounted intermediate release (opt/analyses.h ConsumerCounts).
 
 TEST_F(ParallelEngineTest, Q11PeakMemoryStrictlyLowerWithRelease) {
   const std::string& q11 = XMarkQueryText("Q11");

@@ -128,6 +128,29 @@ TEST_F(PlanShapesTest, BaselineKeepsStrictOrderDerivation) {
   }
 }
 
+// Key-based Distinct elimination (opt/analyses.h key + cardinality
+// domains): Q1's unordered plan carries a Distinct over a subplan whose
+// schema retains a key column, a fact only the key analysis can
+// establish — no structural rule (step disjointness, set-typed input)
+// applies. With only distinct_by_keys toggled, that Distinct must go.
+TEST_F(PlanShapesTest, KeyFactsEliminateADistinctNothingElseCan) {
+  QueryOptions with = UnorderedOpts();
+  QueryOptions without = UnorderedOpts();
+  without.distinct_by_keys = false;
+  PlanStats on = Stats(XMarkQueryText("Q1"), with, true);
+  PlanStats off = Stats(XMarkQueryText("Q1"), without, true);
+  EXPECT_LT(on.distinct_ops, off.distinct_ops);
+
+  // And across the whole corpus the flag is monotone: turning it on
+  // never leaves more Distincts behind.
+  for (const XMarkQuery& q : XMarkQueries()) {
+    PlanStats a = Stats(q.text, with, true);
+    PlanStats b = Stats(q.text, without, true);
+    EXPECT_LE(a.distinct_ops, b.distinct_ops) << q.name;
+    EXPECT_LE(a.total_ops, b.total_ops) << q.name;
+  }
+}
+
 // Optimization is monotone across the whole XMark set: never more
 // operators, never more % after rewriting.
 TEST_F(PlanShapesTest, RewritesMonotoneOnXMark) {

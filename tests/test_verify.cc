@@ -231,6 +231,37 @@ TEST_F(VerifyTest, DerivedFactsTrackRowIdAndAggregates) {
   auto global_facts = DeriveFacts(dag_, global);
   EXPECT_TRUE(global_facts.at(global).at_most_one_row);
   EXPECT_TRUE(global_facts.at(global).constant.count(total) != 0);
+  // The interval bounds underlying those booleans: a literal is [n, n],
+  // # and grouped aggregation preserve/bound it, a global aggregate is
+  // exactly one row.
+  EXPECT_EQ(facts.at(l).min_rows, 3u);
+  EXPECT_EQ(facts.at(l).max_rows, 3u);
+  EXPECT_EQ(facts.at(numbered).min_rows, 3u);
+  EXPECT_EQ(facts.at(numbered).max_rows, 3u);
+  EXPECT_EQ(facts.at(counts).min_rows, 1u);
+  EXPECT_EQ(facts.at(counts).max_rows, 3u);
+  EXPECT_EQ(global_facts.at(global).min_rows, 1u);
+  EXPECT_EQ(global_facts.at(global).max_rows, 1u);
+}
+
+TEST_F(VerifyTest, CheckCardClaimRequiresContainment) {
+  OpId l = Triples({{1, 1, 5}, {1, 2, 7}, {2, 1, 9}});
+  auto facts = DeriveFacts(dag_, l);  // derived interval is [3, 3]
+  CardRange sound;
+  sound.min = 0;
+  sound.max = 10;
+  EXPECT_TRUE(CheckCardClaim(dag_, l, sound, facts.at(l)).ok());
+  CardRange lying;  // claims at most 2 rows — excludes the derived [3,3]
+  lying.min = 0;
+  lying.max = 2;
+  Status st = CheckCardClaim(dag_, l, lying, facts.at(l));
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("[cardinality-claim]"), std::string::npos)
+      << st.message();
+  CardRange lying_min;  // claims at least 4 rows
+  lying_min.min = 4;
+  lying_min.max = kUnboundedRows;
+  EXPECT_FALSE(CheckCardClaim(dag_, l, lying_min, facts.at(l)).ok());
 }
 
 TEST_F(VerifyTest, PipelineRejectsMalformedInputWithDotDump) {
