@@ -1,0 +1,197 @@
+// Query-service cache experiment over the 20-query XMark mix: every
+// query executed through the concurrent QueryService (api/service.h)
+// with cold caches, a warm plan cache, and a warm result cache, median
+// wall clock each, dumped as a table and as BENCH_service.json:
+//
+//   { "bench": "service_cache",
+//     "scale": s, "doc_bytes": N, "workers": W,
+//     "queries": [ {"name": "Q1", "cold_ms": t, "warm_plan_ms": t,
+//                   "warm_result_ms": t}, ... ],
+//     "plan_cache":   {"hits": h, "misses": m},
+//     "result_cache": {"hits": h, "misses": m, "evictions": e,
+//                      "bytes": b},
+//     "geomean_plan_speedup": x, "geomean_result_speedup": x }
+//
+// cold_ms measures the full pipeline (compile + execute); warm_plan_ms
+// the plan-cache hit path (execute only — compile_ms is exactly 0);
+// warm_result_ms the result-cache hit path (serialized bytes only).
+// Every warm run re-checks byte-identity against its cold run: a cache
+// that changed the answer would be no cache at all.
+//
+// EXRQUY_BENCH_SCALE overrides the document scale factor;
+// EXRQUY_BENCH_WORKERS the service's worker-slot count (default 4).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "bench/bench_util.h"
+
+namespace exrquy {
+namespace {
+
+// Median total wall clock (compile + execute) over `runs` calls.
+double MedianTotalMs(QueryService* service, const std::string& query,
+                     const QueryOptions& options, int runs,
+                     ServiceResult* out) {
+  std::vector<double> times;
+  for (int i = 0; i < runs; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    Result<ServiceResult> r = service->Execute(query, options);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   r.status().ToString().c_str());
+      return -1;
+    }
+    times.push_back(ms);
+    if (out != nullptr && i == 0) *out = std::move(r).value();
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void Run() {
+  double scale = bench::EnvScale("EXRQUY_BENCH_SCALE", 0.016);
+  size_t workers =
+      static_cast<size_t>(bench::EnvScale("EXRQUY_BENCH_WORKERS", 4));
+  XMarkOptions xmark;
+  xmark.scale = scale;
+  std::string xml = GenerateXMark(xmark);
+
+  std::printf(
+      "Service cache — XMark, %.3f scale (%zu KB), %zu worker(s)\n\n",
+      scale, xml.size() / 1024, workers);
+  std::printf("%-6s  %10s  %13s  %15s\n", "query", "cold ms",
+              "warm plan ms", "warm result ms");
+
+  struct Row {
+    std::string name;
+    double cold_ms;
+    double warm_plan_ms;
+    double warm_result_ms;
+  };
+  std::vector<Row> rows;
+  double log_plan = 0;
+  double log_result = 0;
+
+  // Cold / warm-plan pass: plan cache only, so every Execute runs the
+  // engine. The first call per query compiles; the rest hit the plan
+  // cache.
+  ServiceConfig plan_only;
+  plan_only.workers = workers;
+  plan_only.plan_cache = 1;
+  plan_only.result_cache_bytes = 0;
+  QueryService plan_service(plan_only);
+  if (!plan_service.LoadDocument("auction.xml", xml).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    std::exit(1);
+  }
+
+  // Result pass: both caches armed.
+  ServiceConfig full;
+  full.workers = workers;
+  full.plan_cache = 1;
+  full.result_cache_bytes = size_t{64} << 20;
+  QueryService result_service(full);
+  if (!result_service.LoadDocument("auction.xml", xml).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    std::exit(1);
+  }
+
+  for (const XMarkQuery& query : XMarkQueries()) {
+    ServiceResult cold;
+    double cold_ms =
+        MedianTotalMs(&plan_service, query.text, {}, 1, &cold);
+    ServiceResult warm_plan;
+    double warm_plan_ms =
+        MedianTotalMs(&plan_service, query.text, {}, 5, &warm_plan);
+    ServiceResult prime;
+    if (MedianTotalMs(&result_service, query.text, {}, 1, &prime) < 0) {
+      std::exit(1);
+    }
+    ServiceResult warm_result;
+    double warm_result_ms =
+        MedianTotalMs(&result_service, query.text, {}, 5, &warm_result);
+    if (cold_ms < 0 || warm_plan_ms < 0 || warm_result_ms < 0) {
+      std::exit(1);
+    }
+    if (!warm_plan.plan_cache_hit || warm_plan.result.compile_ms != 0) {
+      std::fprintf(stderr, "%s: warm run did not hit the plan cache\n",
+                   query.name.c_str());
+      std::exit(1);
+    }
+    if (warm_plan.result.serialized != cold.result.serialized ||
+        warm_result.result.serialized != cold.result.serialized) {
+      std::fprintf(stderr, "%s: cached bytes diverge from cold bytes\n",
+                   query.name.c_str());
+      std::exit(1);
+    }
+    std::printf("%-6s  %10.2f  %13.2f  %15.3f\n", query.name.c_str(),
+                cold_ms, warm_plan_ms, warm_result_ms);
+    log_plan += std::log(cold_ms / std::max(warm_plan_ms, 1e-3));
+    log_result += std::log(cold_ms / std::max(warm_result_ms, 1e-3));
+    rows.push_back(Row{query.name, cold_ms, warm_plan_ms, warm_result_ms});
+  }
+
+  double geo_plan = std::exp(log_plan / rows.size());
+  double geo_result = std::exp(log_result / rows.size());
+  ServiceCounters plan_c = plan_service.counters();
+  ServiceCounters result_c = result_service.counters();
+  std::printf("\ngeomean speedup: plan cache %.2fx, result cache %.2fx\n",
+              geo_plan, geo_result);
+  std::printf("plan cache %llu/%llu hits, result cache %llu/%llu hits\n",
+              static_cast<unsigned long long>(plan_c.plan_cache.hits),
+              static_cast<unsigned long long>(plan_c.plan_cache.hits +
+                                              plan_c.plan_cache.misses),
+              static_cast<unsigned long long>(result_c.result_cache.hits),
+              static_cast<unsigned long long>(result_c.result_cache.hits +
+                                              result_c.result_cache.misses));
+
+  std::FILE* out = std::fopen("BENCH_service.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    std::exit(1);
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"service_cache\",\n"
+               "  \"scale\": %.4f,\n  \"doc_bytes\": %zu,\n"
+               "  \"workers\": %zu,\n  \"queries\": [\n",
+               scale, xml.size(), workers);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"cold_ms\": %.3f, "
+                 "\"warm_plan_ms\": %.3f, \"warm_result_ms\": %.3f}%s\n",
+                 rows[i].name.c_str(), rows[i].cold_ms,
+                 rows[i].warm_plan_ms, rows[i].warm_result_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"plan_cache\": {\"hits\": %llu, \"misses\": %llu},\n"
+               "  \"result_cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"evictions\": %llu, \"bytes\": %zu},\n"
+               "  \"geomean_plan_speedup\": %.3f,\n"
+               "  \"geomean_result_speedup\": %.3f\n}\n",
+               static_cast<unsigned long long>(plan_c.plan_cache.hits),
+               static_cast<unsigned long long>(plan_c.plan_cache.misses),
+               static_cast<unsigned long long>(result_c.result_cache.hits),
+               static_cast<unsigned long long>(result_c.result_cache.misses),
+               static_cast<unsigned long long>(
+                   result_c.result_cache.evictions),
+               result_c.result_cache.bytes, geo_plan, geo_result);
+  std::fclose(out);
+  std::printf("wrote BENCH_service.json\n");
+}
+
+}  // namespace
+}  // namespace exrquy
+
+int main() {
+  exrquy::Run();
+  return 0;
+}

@@ -10,18 +10,30 @@
 //     --explain-order print, for every sort surviving optimization, the
 //                     source constructs whose order demand keeps it alive
 //     --profile       print the Table 2-style execution profile
+//     --serve-batch N replay the query mix through the concurrent
+//                     QueryService on N client threads (the input may
+//                     hold several queries separated by lines of "%%");
+//                     verifies byte-equality across threads and prints
+//                     cache hit/miss statistics. EXRQUY_PLAN_CACHE and
+//                     EXRQUY_RESULT_CACHE_BYTES configure the caches.
+//     --repeat R      rounds per client thread in --serve-batch mode
+//                     (default 8)
 //
 // Example:
 //   xq -d t.xml=fragment.xml -e 'count(doc("t.xml")//c)'
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algebra/dot.h"
+#include "api/service.h"
 #include "api/session.h"
 #include "sql/sql_gen.h"
 
@@ -31,20 +43,133 @@ int Usage() {
   std::fprintf(stderr,
                "usage: xq [-d name=path]... [--baseline|--unordered] "
                "[--plan|--sql|--explain-order] [--profile] "
+               "[--serve-batch N [--repeat R]] "
                "(-e <expr> | query.xq | -)\n");
   return 2;
+}
+
+// Splits the input into a query mix on lines consisting of "%%".
+std::vector<std::string> SplitMix(const std::string& text) {
+  std::vector<std::string> mix;
+  std::string current;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == "%%") {
+      if (!current.empty()) mix.push_back(current);
+      current.clear();
+    } else {
+      current += line;
+      current += '\n';
+    }
+  }
+  if (current.find_first_not_of(" \t\n\r") != std::string::npos) {
+    mix.push_back(current);
+  }
+  return mix;
+}
+
+int ServeBatch(const std::vector<std::pair<std::string, std::string>>& docs,
+               const std::string& input, const exrquy::QueryOptions& options,
+               size_t threads, size_t repeat) {
+  exrquy::ServiceConfig config;
+  config.workers = threads;  // caches come from the environment knobs
+  exrquy::QueryService service(config);
+  for (const auto& [name, path] : docs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "xq: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    exrquy::Status st = service.LoadDocument(name, buf.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "xq: %s: %s\n", name.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<std::string> mix = SplitMix(input);
+  if (mix.empty()) return Usage();
+
+  // Serial reference pass: establishes the expected bytes and prints
+  // each query's result once.
+  std::vector<std::string> expected;
+  for (const std::string& q : mix) {
+    exrquy::Result<exrquy::ServiceResult> r = service.Execute(q, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "xq: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", r->result.serialized.c_str());
+    expected.push_back(r->result.serialized);
+  }
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t round = 0; round < repeat; ++round) {
+        for (size_t i = 0; i < mix.size(); ++i) {
+          // Offset per thread so distinct queries overlap in flight.
+          size_t qi = (i + t) % mix.size();
+          exrquy::Result<exrquy::ServiceResult> r =
+              service.Execute(mix[qi], options);
+          if (!r.ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          } else if (r->result.serialized != expected[qi]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+
+  exrquy::ServiceCounters c = service.counters();
+  std::fprintf(stderr,
+               "serve-batch: %zu queries x %zu threads x %zu rounds "
+               "in %.1f ms\n",
+               mix.size(), threads, repeat, ms);
+  std::fprintf(stderr,
+               "  executions   %llu\n"
+               "  plan cache   %llu hits / %llu misses\n"
+               "  result cache %llu hits / %llu misses / %llu evictions "
+               "(%zu bytes resident)\n",
+               static_cast<unsigned long long>(c.executions),
+               static_cast<unsigned long long>(c.plan_cache.hits),
+               static_cast<unsigned long long>(c.plan_cache.misses),
+               static_cast<unsigned long long>(c.result_cache.hits),
+               static_cast<unsigned long long>(c.result_cache.misses),
+               static_cast<unsigned long long>(c.result_cache.evictions),
+               c.result_cache.bytes);
+  if (mismatches.load() != 0 || failures.load() != 0) {
+    std::fprintf(stderr, "xq: %zu mismatches, %zu failures\n",
+                 mismatches.load(), failures.load());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  exrquy::Session session;
   exrquy::QueryOptions options;
+  std::vector<std::pair<std::string, std::string>> docs;  // name -> path
   std::string query;
   bool have_query = false;
   bool want_plan = false;
   bool want_sql = false;
   bool want_explain_order = false;
+  size_t serve_threads = 0;
+  size_t serve_repeat = 8;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -52,12 +177,13 @@ int main(int argc, char** argv) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
       if (eq == std::string::npos) return Usage();
-      exrquy::Status st = session.LoadDocumentFile(spec.substr(0, eq),
-                                                   spec.substr(eq + 1));
-      if (!st.ok()) {
-        std::fprintf(stderr, "xq: %s\n", st.ToString().c_str());
-        return 1;
-      }
+      docs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--serve-batch" && i + 1 < argc) {
+      serve_threads = static_cast<size_t>(std::atoi(argv[++i]));
+      if (serve_threads == 0) return Usage();
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      serve_repeat = static_cast<size_t>(std::atoi(argv[++i]));
+      if (serve_repeat == 0) return Usage();
     } else if (arg == "-e" && i + 1 < argc) {
       query = argv[++i];
       have_query = true;
@@ -94,6 +220,20 @@ int main(int argc, char** argv) {
     }
   }
   if (!have_query) return Usage();
+
+  if (serve_threads > 0) {
+    if (want_plan || want_sql || want_explain_order) return Usage();
+    return ServeBatch(docs, query, options, serve_threads, serve_repeat);
+  }
+
+  exrquy::Session session;
+  for (const auto& [name, path] : docs) {
+    exrquy::Status st = session.LoadDocumentFile(name, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "xq: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
 
   if (want_explain_order) {
     exrquy::Result<exrquy::OrderExplanation> explained =

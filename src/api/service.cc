@@ -1,0 +1,302 @@
+#include "api/service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "algebra/stats.h"
+#include "engine/eval.h"
+#include "xml/xml_parser.h"
+
+namespace exrquy {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+uint64_t EnvU64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(v, &end, 10);
+  return end == v ? 0 : static_cast<uint64_t>(n);
+}
+
+bool EnvPlanCacheEnabled() {
+  const char* v = std::getenv("EXRQUY_PLAN_CACHE");
+  if (v == nullptr || *v == '\0') return true;  // default on
+  return std::string_view(v) != "0";
+}
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+size_t ResolveResultCacheBytes(int64_t requested) {
+  if (requested >= 0) return static_cast<size_t>(requested);
+  return static_cast<size_t>(EnvU64("EXRQUY_RESULT_CACHE_BYTES"));
+}
+
+// Cache key: query text, then the plan-affecting option bits, then the
+// store version. Execution knobs (threads, chunking, governor) are
+// deliberately absent — the engine guarantees byte-identical results
+// across all of them, which is what makes cached bytes reusable.
+std::string CacheKey(std::string_view query, const QueryOptions& o,
+                     uint64_t version) {
+  uint64_t bits = 0;
+  for (bool b : {o.default_ordering == OrderingMode::kOrdered,
+                 o.enable_order_indifference, o.insert_unordered,
+                 o.mode_rules, o.column_pruning, o.weaken_rownum,
+                 o.distinct_elimination, o.step_merging, o.distinct_by_keys,
+                 o.empty_short_circuit, o.rownum_by_keys,
+                 o.physical_sort_detection}) {
+    bits = (bits << 1) | (b ? 1 : 0);
+  }
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), "\x1f%llx\x1f%llu",
+                static_cast<unsigned long long>(bits),
+                static_cast<unsigned long long>(version));
+  std::string key;
+  key.reserve(query.size() + sizeof(suffix));
+  key.append(query.data(), query.size());
+  key += suffix;
+  return key;
+}
+
+size_t PlanBytes(const Dag& dag) {
+  // Order-of-magnitude accounting; the plan cache has no byte budget
+  // (population is bounded by the distinct query mix), so this only
+  // feeds the stats.
+  return dag.size() * (sizeof(Op) + 32) + sizeof(Dag);
+}
+
+}  // namespace
+
+QueryService::QueryService(ServiceConfig config)
+    : plan_cache_enabled_(config.plan_cache < 0 ? EnvPlanCacheEnabled()
+                                                : config.plan_cache != 0),
+      base_store_(&strings_),
+      cache_accountant_(0),
+      plan_cache_(0),
+      result_cache_(ResolveResultCacheBytes(config.result_cache_bytes),
+                    &cache_accountant_) {
+  size_t n = ResolveWorkers(config.workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>(&strings_));
+    free_workers_.push_back(n - 1 - i);  // pop_back hands out slot 0 first
+  }
+}
+
+Status QueryService::LoadDocument(std::string_view name,
+                                  std::string_view xml) {
+  std::unique_lock<std::shared_mutex> exclusive(snapshot_mu_);
+  // A parse failure rolls the base store back (NodeBuilder's destructor),
+  // so nothing below this point runs and the snapshot is untouched.
+  EXRQUY_ASSIGN_OR_RETURN(NodeIdx root, ParseXml(&base_store_, xml));
+  base_store_.IndexFragment(base_store_.fragment_count() - 1);
+  documents_[strings_.Intern(name)] = root;
+  CloneWorkersLocked();
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  // Stale keys could never hit again (the version is part of every key);
+  // clearing reclaims their bytes immediately instead of waiting for
+  // LRU pressure.
+  plan_cache_.Clear();
+  result_cache_.Clear();
+  return Status::Ok();
+}
+
+void QueryService::CloneWorkersLocked() {
+  for (std::unique_ptr<Worker>& w : workers_) {
+    w->store.CloneFrom(base_store_);
+    w->base_nodes = w->store.node_count();
+    w->base_fragments = w->store.fragment_count();
+  }
+}
+
+size_t QueryService::AcquireWorker() {
+  std::unique_lock<std::mutex> lock(workers_mu_);
+  workers_cv_.wait(lock, [this] { return !free_workers_.empty(); });
+  size_t idx = free_workers_.back();
+  free_workers_.pop_back();
+  return idx;
+}
+
+void QueryService::ReleaseWorker(size_t idx) {
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    free_workers_.push_back(idx);
+  }
+  workers_cv_.notify_one();
+}
+
+Result<ServiceResult> QueryService::Execute(std::string_view query,
+                                            const QueryOptions& options) {
+  // Held shared for the whole call: the snapshot (base store contents,
+  // worker clones, document map, version) cannot change under us.
+  std::shared_lock<std::shared_mutex> snapshot(snapshot_mu_);
+  Clock::time_point start = Clock::now();
+
+  ServiceResult out;
+  out.store_version = version_.load(std::memory_order_acquire);
+  std::string key = CacheKey(query, options, out.store_version);
+
+  // Governed calls bypass the result cache: serving cached bytes would
+  // skip the injection/cancellation points a caller asked to exercise.
+  bool result_cacheable = result_cache_.budget_bytes() != 0 &&
+                          !options.faults.any() && options.cancel == nullptr;
+
+  if (result_cacheable) {
+    if (std::shared_ptr<const CachedResult> hit = result_cache_.Get(key)) {
+      out.result_cache_hit = true;
+      out.result.serialized = hit->serialized;
+      out.result.items = hit->items;
+      out.result.plan_initial = hit->stats_initial;
+      out.result.plan_optimized = hit->stats_optimized;
+      if (options.profile) out.result.profile.SetCache(false, true, 0);
+      executions_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
+
+  // Plan: cached DAG when warm, full front-half pipeline when cold.
+  std::shared_ptr<const CachedPlan> plan;
+  if (plan_cache_enabled_) plan = plan_cache_.Get(key);
+  if (plan != nullptr) {
+    out.plan_cache_hit = true;
+    out.result.compile_ms = 0;  // no parse/compile/optimize happened
+  } else {
+    Result<QueryPlans> planned = PlanQuery(query, options, &strings_);
+    if (!planned.ok()) {
+      executions_.fetch_add(1, std::memory_order_relaxed);
+      return planned.status();
+    }
+    auto fresh = std::make_shared<CachedPlan>();
+    fresh->dag = std::move(planned.value().dag);
+    fresh->initial = planned.value().initial;
+    fresh->optimized = planned.value().optimized;
+    fresh->stats_initial = CollectPlanStats(*fresh->dag, fresh->initial);
+    fresh->stats_optimized = CollectPlanStats(*fresh->dag, fresh->optimized);
+    out.result.compile_ms = MsSince(start);
+    if (plan_cache_enabled_) {
+      plan_cache_.Put(key, fresh, PlanBytes(*fresh->dag));
+    }
+    plan = std::move(fresh);
+  }
+  out.result.plan_initial = plan->stats_initial;
+  out.result.plan_optimized = plan->stats_optimized;
+
+  // Resolve the governor configuration exactly like Session::Execute,
+  // minus the shared-pool budget attachment: the pool is shared across
+  // queries, so charging one query's budget for another query's interns
+  // would be wrong. Node and table bytes are still fully accounted.
+  int64_t deadline_ms =
+      options.deadline_ms > 0
+          ? options.deadline_ms
+          : static_cast<int64_t>(EnvU64("EXRQUY_DEADLINE_MS"));
+  size_t budget_limit =
+      options.memory_budget > 0
+          ? options.memory_budget
+          : static_cast<size_t>(EnvU64("EXRQUY_MEM_BUDGET"));
+  FaultPlan faults =
+      options.faults.any() ? options.faults : FaultPlan::FromEnv();
+  MemoryBudget budget(budget_limit);
+  if (faults.fail_alloc != 0) budget.FailChargeAt(faults.fail_alloc);
+  FaultInjector injector(faults);
+  bool account =
+      budget_limit != 0 || faults.fail_alloc != 0 || options.profile;
+
+  size_t slot = AcquireWorker();
+  Worker& worker = *workers_[slot];
+  if (account) worker.store.set_budget(&budget);
+
+  EvalContext ctx;
+  ctx.store = &worker.store;
+  ctx.strings = &strings_;
+  ctx.documents = documents_;
+  ctx.detect_sorted_inputs = options.physical_sort_detection;
+  ctx.num_threads = options.num_threads;
+  ctx.chunk_rows = options.chunk_rows;
+  ctx.release_intermediates = options.release_intermediates;
+  if (options.profile) ctx.profile = &out.result.profile;
+  ctx.cancel = options.cancel.get();
+  if (deadline_ms > 0) {
+    ctx.has_deadline = true;
+    ctx.deadline = start + std::chrono::milliseconds(deadline_ms);
+  }
+  if (account) ctx.budget = &budget;
+  if (faults.any()) ctx.faults = &injector;
+
+  Clock::time_point t1 = Clock::now();
+  Status failed = Status::Ok();
+  {
+    Evaluator evaluator(*plan->dag, &ctx);
+    Result<TablePtr> table = evaluator.Eval(plan->optimized);
+    if (options.profile) {
+      out.result.profile.SetBudget(budget.limit(), budget.charged(),
+                                   budget.peak());
+    }
+    if (!table.ok()) {
+      failed = table.status();
+    } else {
+      out.result.execute_ms = MsSince(t1);
+      out.result.sorts_skipped = ctx.sorts_skipped;
+      Result<std::string> serialized = SerializeResult(**table, ctx);
+      Result<std::vector<std::string>> items = ResultItems(**table, ctx);
+      if (!serialized.ok()) {
+        failed = serialized.status();
+      } else if (!items.ok()) {
+        failed = items.status();
+      } else {
+        out.result.serialized = std::move(serialized).value();
+        out.result.items = std::move(items).value();
+      }
+    }
+  }
+  // Constructed fragments never outlive the call (results hold plain
+  // strings); the shared pool keeps query-interned strings by design.
+  worker.store.set_budget(nullptr);
+  worker.store.TruncateTo(worker.base_nodes, worker.base_fragments);
+  ReleaseWorker(slot);
+  executions_.fetch_add(1, std::memory_order_relaxed);
+  if (!failed.ok()) return failed;
+
+  uint64_t evicted = 0;
+  if (result_cacheable) {
+    size_t bytes = out.result.serialized.size() + 64;
+    for (const std::string& item : out.result.items) {
+      bytes += item.size() + sizeof(std::string);
+    }
+    uint64_t before = result_cache_.stats().evictions;
+    auto cached = std::make_shared<CachedResult>();
+    cached->serialized = out.result.serialized;
+    cached->items = out.result.items;
+    cached->stats_initial = out.result.plan_initial;
+    cached->stats_optimized = out.result.plan_optimized;
+    result_cache_.Put(key, std::move(cached), bytes);
+    evicted = result_cache_.stats().evictions - before;
+  }
+  if (options.profile) {
+    out.result.profile.SetCache(out.plan_cache_hit, false, evicted);
+  }
+  return out;
+}
+
+ServiceCounters QueryService::counters() const {
+  ServiceCounters out;
+  out.executions = executions_.load(std::memory_order_relaxed);
+  out.store_version = version_.load(std::memory_order_acquire);
+  out.plan_cache = plan_cache_.stats();
+  out.result_cache = result_cache_.stats();
+  return out;
+}
+
+}  // namespace exrquy

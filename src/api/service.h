@@ -1,0 +1,180 @@
+// Concurrent query service. A QueryService owns an immutable snapshot of
+// the loaded documents and admits many concurrent Execute calls against
+// it, backed by two caches:
+//
+//  * a plan cache keyed by (query text, ordering mode, optimizer flags,
+//    store version) holding the compiled + optimized DAG — a warm hit
+//    skips parse/normalize/compile/optimize entirely (compile_ms == 0);
+//  * an optional result cache (LRU with a byte budget, charged through a
+//    MemoryBudget accountant) keyed the same way, serving serialized
+//    bytes without touching the engine.
+//
+// Concurrency model. Sessions (api/session.h) mutate their store/pool
+// during evaluation (constructed fragments, query-interned strings) and
+// roll back afterwards, which cannot overlap. The service instead keeps
+//
+//  * one shared thread-safe StrPool (Intern is mutex-serialized, Get is
+//    wait-free) that every plan and every worker references — cached
+//    plans bake StrIds, so all evaluators must agree on the pool;
+//  * a base NodeStore holding the loaded documents, plus one private
+//    NodeStore per worker slot, cloned from the base. A worker appends
+//    (and truncates) constructed fragments privately, so concurrent
+//    queries never see each other's nodes, while every worker reads
+//    identical document bytes at identical preorder ranks — which is
+//    what makes results byte-identical across workers and thread counts.
+//
+// The shared pool is never truncated: strings interned by queries stay
+// resident (monotonic growth, bounded by the distinct strings the query
+// mix constructs). That is the deliberate trade-off buying lock-free
+// reads on the evaluation hot path; StrPool::TruncateTo is not safe
+// concurrently with Get.
+//
+// LoadDocument is exclusive: it waits for in-flight executions, parses
+// into the base store, re-clones every worker, bumps the store version
+// (so stale cache keys can never hit again) and drops both caches.
+#ifndef EXRQUY_API_SERVICE_H_
+#define EXRQUY_API_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/session.h"
+#include "common/cache.h"
+#include "common/governor.h"
+#include "common/status.h"
+#include "common/str_pool.h"
+#include "xml/node_store.h"
+
+namespace exrquy {
+
+struct ServiceConfig {
+  // Concurrent execution slots. 0 = hardware concurrency (at least 1).
+  // Execute calls beyond this block until a slot frees up.
+  size_t workers = 0;
+
+  // Plan cache: -1 defers to EXRQUY_PLAN_CACHE ("0" disables; default
+  // on), 0 disables, 1 enables.
+  int plan_cache = -1;
+
+  // Result cache byte budget: -1 defers to EXRQUY_RESULT_CACHE_BYTES
+  // (unset/0 = disabled), 0 disables, > 0 enables with that budget.
+  int64_t result_cache_bytes = -1;
+};
+
+// Execute's answer: the Session-shaped QueryResult plus what the service
+// layer did to produce it.
+struct ServiceResult {
+  QueryResult result;
+  bool plan_cache_hit = false;
+  bool result_cache_hit = false;  // implies plan untouched this call
+  uint64_t store_version = 0;     // snapshot the result was computed on
+};
+
+// Aggregate service observability (also mirrored per-execution into
+// Profile::SetCache when QueryOptions::profile is set).
+struct ServiceCounters {
+  uint64_t executions = 0;     // completed Execute calls (ok or error)
+  uint64_t store_version = 0;  // bumped by every LoadDocument
+  CacheStats plan_cache;
+  CacheStats result_cache;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig config = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Parses and indexes a document into the base snapshot. Exclusive:
+  // blocks until in-flight Execute calls drain, then re-clones worker
+  // stores, bumps the store version, and clears both caches. On parse
+  // error the snapshot, version and caches are all unchanged.
+  Status LoadDocument(std::string_view name, std::string_view xml);
+
+  // Runs one query against the current snapshot. Safe to call from any
+  // number of threads concurrently; byte-identical to Session::Execute
+  // over the same documents, for every worker count and cache state.
+  Result<ServiceResult> Execute(std::string_view query,
+                                const QueryOptions& options = {});
+
+  ServiceCounters counters() const;
+  uint64_t store_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  size_t worker_count() const { return workers_.size(); }
+
+  StrPool& strings() { return strings_; }
+
+ private:
+  // A compiled + optimized plan with everything Execute needs to skip
+  // compilation: the DAG (const during evaluation — that is what makes
+  // one cached plan shareable across workers), roots, and the
+  // plan-shape stats and compile time of the original compilation.
+  struct CachedPlan {
+    std::unique_ptr<Dag> dag;
+    OpId initial = kNoOp;
+    OpId optimized = kNoOp;
+    PlanStats stats_initial;
+    PlanStats stats_optimized;
+  };
+
+  // A finished query, byte-for-byte. The profile of the producing run is
+  // not retained: a cache hit did no engine work, so serving the old
+  // operator timings would misattribute time.
+  struct CachedResult {
+    std::string serialized;
+    std::vector<std::string> items;
+    PlanStats stats_initial;
+    PlanStats stats_optimized;
+  };
+
+  struct Worker {
+    explicit Worker(StrPool* strings) : store(strings) {}
+    NodeStore store;
+    // Snapshot bounds after the last clone; evaluation appends past
+    // them and the lease rolls back to them.
+    size_t base_nodes = 0;
+    size_t base_fragments = 0;
+  };
+
+  size_t AcquireWorker();
+  void ReleaseWorker(size_t idx);
+  void CloneWorkersLocked();
+
+  bool plan_cache_enabled_;
+  // Shared pool first: workers' stores reference it.
+  StrPool strings_;
+  NodeStore base_store_;
+  std::map<StrId, NodeIdx> documents_;
+  std::atomic<uint64_t> version_{0};
+
+  // Writer = LoadDocument, readers = Execute. Held shared for the whole
+  // execution so the snapshot cannot change under a running query.
+  mutable std::shared_mutex snapshot_mu_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex workers_mu_;
+  std::condition_variable workers_cv_;
+  std::vector<size_t> free_workers_;
+
+  // Result-cache byte accounting (observability: peak/charged for
+  // counters and profiles; the cache's own budget does the enforcing).
+  MemoryBudget cache_accountant_;
+  ShardedLruCache<CachedPlan> plan_cache_;
+  ShardedLruCache<CachedResult> result_cache_;
+
+  std::atomic<uint64_t> executions_{0};
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_API_SERVICE_H_

@@ -52,8 +52,8 @@ Status Session::LoadDocumentFile(std::string_view name,
   return LoadDocument(name, buf.str());
 }
 
-Result<QueryPlans> Session::PlanInternal(std::string_view query,
-                                         const QueryOptions& options) {
+Result<QueryPlans> PlanQuery(std::string_view query,
+                             const QueryOptions& options, StrPool* strings) {
   EXRQUY_ASSIGN_OR_RETURN(Query parsed, ParseQuery(query));
 
   NormalizeOptions norm;
@@ -66,7 +66,7 @@ Result<QueryPlans> Session::PlanInternal(std::string_view query,
   copts.exploit_unordered =
       options.enable_order_indifference && options.mode_rules;
   EXRQUY_ASSIGN_OR_RETURN(CompiledQuery compiled,
-                          CompileQuery(parsed, &strings_, copts));
+                          CompileQuery(parsed, strings, copts));
 
   QueryPlans plans;
   plans.dag = std::move(compiled.dag);
@@ -90,7 +90,7 @@ Result<QueryPlans> Session::PlanInternal(std::string_view query,
   oopts.rewrites.empty_short_circuit = options.empty_short_circuit;
   oopts.rewrites.rownum_by_keys = options.rownum_by_keys;
   oopts.verify_each_pass = options.verify_each_pass;
-  oopts.strings = &strings_;
+  oopts.strings = strings;
   EXRQUY_ASSIGN_OR_RETURN(
       plans.optimized, Optimize(plans.dag.get(), plans.initial, oopts));
 
@@ -101,6 +101,11 @@ Result<QueryPlans> Session::PlanInternal(std::string_view query,
     return Internal("optimized plan rejected: " + verified.message());
   }
   return plans;
+}
+
+Result<QueryPlans> Session::PlanInternal(std::string_view query,
+                                         const QueryOptions& options) {
+  return PlanQuery(query, options, &strings_);
 }
 
 Result<QueryPlans> Session::Plan(std::string_view query,

@@ -117,6 +117,16 @@ struct QueryPlans {
   OpId optimized = kNoOp;
 };
 
+// The front half of the pipeline — parse -> normalize -> compile ->
+// optimize, with a static verification pass after compilation and after
+// the rewrites — as a free function over an explicit string pool. Plans
+// never read documents (fn:doc resolves at evaluation), so this is pure
+// in the store; Session::Plan and the QueryService plan cache
+// (api/service.h) both route through here. Thread-safe when `strings`
+// is shared: interning is the only pool interaction.
+Result<QueryPlans> PlanQuery(std::string_view query,
+                             const QueryOptions& options, StrPool* strings);
+
 // Why each sort that survived optimization is still there: for every %
 // in the optimized plan, the source-syntax constructs whose order demand
 // reaches its rank column (the order-provenance analysis of

@@ -1,0 +1,219 @@
+// Sharded LRU cache with byte-budget eviction — the storage layer behind
+// the query service's plan and result caches (api/service.h).
+//
+// Design notes:
+//
+//  * Keys hash to one of `num_shards` shards; each shard is an
+//    independent mutex + hash map + intrusive LRU list, so concurrent
+//    lookups of different keys rarely contend. Recency is therefore
+//    per-shard (a strictly global LRU order would serialize every Get
+//    behind one lock, which defeats the point of a cache on the hot
+//    path).
+//  * The byte budget is split evenly across shards and enforced at
+//    insertion: a Put that pushes its shard over budget evicts from that
+//    shard's cold end until it fits. An entry larger than a whole
+//    shard's budget is refused outright (recorded as an eviction) —
+//    admitting it would immediately flush the shard for a value that can
+//    never be resident.
+//  * Charged bytes flow through an optional MemoryBudget accountant
+//    (common/governor.h): Put charges, eviction/Clear release. The
+//    accountant observes — peak and charged numbers for profiles — but
+//    never vetoes; budget_bytes is the enforcement mechanism.
+//  * Values are shared_ptr<const V>: a Get result stays valid after the
+//    entry is evicted, so readers never hold shard locks while using a
+//    value.
+//  * budget_bytes == 0 means "no byte limit" (used by the plan cache,
+//    whose entries are small and whose population is bounded by the
+//    distinct query mix); max_entries still caps runaway growth.
+#ifndef EXRQUY_COMMON_CACHE_H_
+#define EXRQUY_COMMON_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/governor.h"
+
+namespace exrquy {
+
+// Point-in-time cache observability (hit/miss/insert/evict counters are
+// monotonic; entries/bytes are the current residency). Value-type
+// independent so callers can report stats without naming the cache's
+// instantiation.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;  // includes oversize refusals
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+template <typename V>
+class ShardedLruCache {
+ public:
+  using Stats = CacheStats;
+
+  // `accountant` (optional) is charged/released as entries come and go;
+  // it must outlive the cache.
+  explicit ShardedLruCache(size_t budget_bytes,
+                           MemoryBudget* accountant = nullptr,
+                           size_t num_shards = 8, size_t max_entries = 65536)
+      : budget_bytes_(budget_bytes),
+        accountant_(accountant),
+        shards_(num_shards == 0 ? 1 : num_shards) {
+    EXRQUY_CHECK(max_entries > 0);
+    shard_budget_ = budget_bytes_ == 0 ? 0 : budget_bytes_ / shards_.size();
+    if (budget_bytes_ != 0 && shard_budget_ == 0) shard_budget_ = 1;
+    shard_max_entries_ = max_entries / shards_.size();
+    if (shard_max_entries_ == 0) shard_max_entries_ = 1;
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  ~ShardedLruCache() { Clear(); }
+
+  // Returns the cached value and refreshes its recency, or nullptr.
+  std::shared_ptr<const V> Get(const std::string& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.value;
+  }
+
+  // Inserts (or replaces) `key`, charging `bytes` against the budget and
+  // evicting cold entries from the key's shard until it fits. Returns
+  // false when the value is larger than a whole shard's budget and was
+  // refused.
+  bool Put(const std::string& key, std::shared_ptr<const V> value,
+           size_t bytes) {
+    Shard& s = ShardFor(key);
+    size_t released = 0;
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (shard_budget_ != 0 && bytes > shard_budget_) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      auto it = s.map.find(key);
+      if (it != s.map.end()) {
+        released += it->second.bytes;
+        s.bytes -= it->second.bytes;
+        s.lru.erase(it->second.lru_it);
+        s.map.erase(it);
+      }
+      while ((shard_budget_ != 0 && s.bytes + bytes > shard_budget_) ||
+             s.map.size() >= shard_max_entries_) {
+        if (s.lru.empty()) break;
+        released += EvictColdest(&s);
+      }
+      s.lru.push_front(key);
+      s.map.emplace(key,
+                    Entry{std::move(value), bytes, s.lru.begin()});
+      s.bytes += bytes;
+      admitted = true;
+      insertions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (accountant_ != nullptr) {
+      if (admitted) accountant_->Charge(bytes);
+      if (released != 0) accountant_->Release(released);
+    }
+    return admitted;
+  }
+
+  // Drops every entry (all shards), releasing their bytes. Used when a
+  // document load bumps the store version: stale entries would never be
+  // hit again (the version is part of every key), but their bytes should
+  // not sit around waiting for eviction.
+  void Clear() {
+    size_t released = 0;
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      released += s.bytes;
+      s.map.clear();
+      s.lru.clear();
+      s.bytes = 0;
+    }
+    if (accountant_ != nullptr && released != 0) {
+      accountant_->Release(released);
+    }
+  }
+
+  Stats stats() const {
+    Stats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.insertions = insertions_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      out.entries += s.map.size();
+      out.bytes += s.bytes;
+    }
+    return out;
+  }
+
+  size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const V> value;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;
+    std::list<std::string> lru;  // front = most recently used
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  // Caller holds s->mu. Returns the evicted entry's bytes.
+  size_t EvictColdest(Shard* s) {
+    const std::string& victim = s->lru.back();
+    auto it = s->map.find(victim);
+    EXRQUY_DCHECK(it != s->map.end());
+    size_t bytes = it->second.bytes;
+    s->bytes -= bytes;
+    s->map.erase(it);
+    s->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return bytes;
+  }
+
+  size_t budget_bytes_;
+  size_t shard_budget_ = 0;       // 0 = unlimited bytes
+  size_t shard_max_entries_ = 0;  // always > 0
+  MemoryBudget* accountant_;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_COMMON_CACHE_H_

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
 #include <thread>
@@ -968,7 +969,12 @@ Result<Value> Evaluator::ApplyFun(const Op& op,
       return ops_.Arith(op.fun, arg(0), arg(1));
     case FunKind::kNeg: {
       EXRQUY_ASSIGN_OR_RETURN(Value v, ops_.ToDouble(arg(0)));
-      if (arg(0).kind == ValueKind::kInt) return Value::Int(-arg(0).i);
+      if (arg(0).kind == ValueKind::kInt) {
+        if (arg(0).i == INT64_MIN) {
+          return TypeError("err:FOAR0002: integer overflow in negation");
+        }
+        return Value::Int(-arg(0).i);
+      }
       return Value::Double(-v.d);
     }
     case FunKind::kEq:

@@ -82,6 +82,13 @@ void Profile::SetBudget(size_t limit_bytes, size_t charged_bytes,
   budget_peak_bytes_ = peak_bytes;
 }
 
+void Profile::SetCache(bool plan_cache_hit, bool result_cache_hit,
+                       uint64_t result_evictions) {
+  plan_cache_hit_ = plan_cache_hit;
+  result_cache_hit_ = result_cache_hit;
+  result_cache_evictions_ = result_evictions;
+}
+
 const std::vector<Profile::OpMetrics>& Profile::ops() const {
   if (!ops_sorted_) {
     std::stable_sort(
@@ -134,6 +141,13 @@ std::string Profile::ToJson() const {
                 "%zu,\n  \"budget_peak_bytes\": %zu,\n",
                 budget_limit_bytes_, budget_charged_bytes_,
                 budget_peak_bytes_);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"cache\": {\"plan_hit\": %s, \"result_hit\": %s, "
+                "\"result_evictions\": %llu},\n",
+                plan_cache_hit_ ? "true" : "false",
+                result_cache_hit_ ? "true" : "false",
+                static_cast<unsigned long long>(result_cache_evictions_));
   out += buf;
   out += "  \"ops\": [\n";
   const std::vector<OpMetrics>& records = ops();

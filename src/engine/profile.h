@@ -53,6 +53,12 @@ class Profile {
   // ended, and the high-water mark across tables + nodes + strings.
   void SetBudget(size_t limit_bytes, size_t charged_bytes,
                  size_t peak_bytes);
+  // Query-service cache interaction for this execution (api/service.h):
+  // whether the plan / serialized result came from cache, and how many
+  // result-cache evictions this query's insertion triggered. Zeroed for
+  // plain Session executions.
+  void SetCache(bool plan_cache_hit, bool result_cache_hit,
+                uint64_t result_evictions);
 
   const std::map<std::string, Bucket>& by_prov() const { return by_prov_; }
   const std::map<std::string, Bucket>& by_kind() const { return by_kind_; }
@@ -68,6 +74,9 @@ class Profile {
   size_t budget_limit_bytes() const { return budget_limit_bytes_; }
   size_t budget_charged_bytes() const { return budget_charged_bytes_; }
   size_t budget_peak_bytes() const { return budget_peak_bytes_; }
+  bool plan_cache_hit() const { return plan_cache_hit_; }
+  bool result_cache_hit() const { return result_cache_hit_; }
+  uint64_t result_cache_evictions() const { return result_cache_evictions_; }
 
   // Table 2-style rendering: one line per provenance label, with
   // millisecond and percentage columns, sorted by time descending.
@@ -91,6 +100,9 @@ class Profile {
   size_t budget_limit_bytes_ = 0;
   size_t budget_charged_bytes_ = 0;
   size_t budget_peak_bytes_ = 0;
+  bool plan_cache_hit_ = false;
+  bool result_cache_hit_ = false;
+  uint64_t result_cache_evictions_ = 0;
 };
 
 }  // namespace exrquy

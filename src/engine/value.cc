@@ -1,6 +1,7 @@
 #include "engine/value.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -119,28 +120,76 @@ Result<Value> ValueOps::Arith(FunKind op, Value a, Value b) const {
   bool both_int = a.kind == ValueKind::kInt && b.kind == ValueKind::kInt;
   switch (op) {
     case FunKind::kAdd:
-      return both_int ? Value::Int(a.i + b.i)
-                      : Value::Double(AsDouble(a) + AsDouble(b));
+      if (both_int) {
+        int64_t r;
+        if (__builtin_add_overflow(a.i, b.i, &r)) {
+          return TypeError("err:FOAR0002: integer overflow in addition");
+        }
+        return Value::Int(r);
+      }
+      return Value::Double(AsDouble(a) + AsDouble(b));
     case FunKind::kSub:
-      return both_int ? Value::Int(a.i - b.i)
-                      : Value::Double(AsDouble(a) - AsDouble(b));
+      if (both_int) {
+        int64_t r;
+        if (__builtin_sub_overflow(a.i, b.i, &r)) {
+          return TypeError("err:FOAR0002: integer overflow in subtraction");
+        }
+        return Value::Int(r);
+      }
+      return Value::Double(AsDouble(a) - AsDouble(b));
     case FunKind::kMul:
-      return both_int ? Value::Int(a.i * b.i)
-                      : Value::Double(AsDouble(a) * AsDouble(b));
+      if (both_int) {
+        int64_t r;
+        if (__builtin_mul_overflow(a.i, b.i, &r)) {
+          return TypeError("err:FOAR0002: integer overflow in multiplication");
+        }
+        return Value::Int(r);
+      }
+      return Value::Double(AsDouble(a) * AsDouble(b));
     case FunKind::kDiv: {
-      double div = AsDouble(b);
-      if (both_int && b.i == 0) return TypeError("integer division by zero");
-      return Value::Double(AsDouble(a) / div);
+      // div on two integers is xs:decimal division (double stands in);
+      // a zero divisor is an error there, while double division by zero
+      // yields ±INF/NaN per IEEE — exactly the F&O split.
+      if (both_int && b.i == 0) {
+        return TypeError("err:FOAR0001: integer division by zero");
+      }
+      return Value::Double(AsDouble(a) / AsDouble(b));
     }
     case FunKind::kIDiv: {
-      if (AsDouble(b) == 0) return TypeError("integer division by zero");
-      return Value::Int(static_cast<int64_t>(AsDouble(a) / AsDouble(b)));
+      if (both_int) {
+        // Exact 64-bit path: C++ integer division truncates toward zero,
+        // which is precisely op:numeric-integer-divide. Routing through
+        // doubles here would lose precision above 2^53.
+        if (b.i == 0) {
+          return TypeError("err:FOAR0001: integer division by zero");
+        }
+        if (a.i == INT64_MIN && b.i == -1) {
+          return TypeError("err:FOAR0002: integer overflow in idiv");
+        }
+        return Value::Int(a.i / b.i);
+      }
+      double da = AsDouble(a);
+      double db = AsDouble(b);
+      if (db == 0) return TypeError("err:FOAR0001: integer division by zero");
+      if (std::isnan(da) || std::isnan(db) || std::isinf(da)) {
+        return TypeError("err:FOAR0002: idiv of NaN or infinite dividend");
+      }
+      double q = std::trunc(da / db);
+      // 2^63 is exactly representable; anything in [-2^63, 2^63) fits.
+      if (!(q >= -9223372036854775808.0 && q < 9223372036854775808.0)) {
+        return TypeError("err:FOAR0002: integer overflow in idiv");
+      }
+      return Value::Int(static_cast<int64_t>(q));
     }
     case FunKind::kMod: {
       if (both_int) {
-        if (b.i == 0) return TypeError("modulo by zero");
+        if (b.i == 0) return TypeError("err:FOAR0001: integer modulo by zero");
+        // INT64_MIN % -1 is UB in C++ even though the result is 0.
+        if (b.i == -1) return Value::Int(0);
         return Value::Int(a.i % b.i);
       }
+      // Double mod follows fmod: a zero divisor yields NaN, not an error
+      // (op:numeric-mod on xs:double).
       return Value::Double(std::fmod(AsDouble(a), AsDouble(b)));
     }
     default:

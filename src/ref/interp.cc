@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/check.h"
@@ -533,6 +534,9 @@ Result<RefInterpreter::Sequence> RefInterpreter::EvalArith(const Expr& e,
     for (const Value& v : s) {
       Value a = ops_.Atomize(v);
       if (a.kind == ValueKind::kInt) {
+        if (a.i == INT64_MIN) {
+          return TypeError("err:FOAR0002: integer overflow in negation");
+        }
         out.push_back(Value::Int(-a.i));
       } else {
         EXRQUY_ASSIGN_OR_RETURN(Value d, ops_.ToDouble(a));

@@ -91,6 +91,18 @@ void NodeStore::TruncateTo(size_t node_count, size_t fragment_count) {
   fragments_.resize(fragment_count);
 }
 
+void NodeStore::CloneFrom(const NodeStore& src) {
+  EXRQUY_CHECK(strings_ == src.strings_);
+  kind_ = src.kind_;
+  name_ = src.name_;
+  value_ = src.value_;
+  size_ = src.size_;
+  level_ = src.level_;
+  parent_ = src.parent_;
+  fragments_ = src.fragments_;
+  name_index_ = src.name_index_;
+}
+
 const std::vector<NodeIdx>* NodeStore::IndexedNodes(NodeKind kind,
                                                     StrId name) const {
   auto it = name_index_.find(IndexKey(kind, name));

@@ -98,6 +98,15 @@ class NodeStore {
   // constructed fragments between query executions.
   void TruncateTo(size_t node_count, size_t fragment_count);
 
+  // Replaces this store's entire contents with a copy of `src` — nodes,
+  // fragments, and name index. Both stores must share the same StrPool
+  // (interned ids are copied verbatim). Used by the query service to
+  // stamp per-worker snapshots of the loaded-document store: workers
+  // append (and truncate) constructed fragments privately while reading
+  // identical document bytes at identical preorder ranks, which is what
+  // makes results byte-identical across workers.
+  void CloneFrom(const NodeStore& src);
+
   // -- Name index ----------------------------------------------------------
   // Sorted preorder ranks of all element/attribute nodes with the given
   // name in *indexed* fragments. Enables the binary-searched

@@ -16,6 +16,11 @@ void EscapeText(std::string_view s, std::string* out) {
       case '>':
         *out += "&gt;";
         break;
+      case '\r':
+        // A literal CR would be folded to LF by XML line-end
+        // normalization on re-parse; the charref survives.
+        *out += "&#xD;";
+        break;
       default:
         *out += c;
     }
@@ -36,6 +41,18 @@ void EscapeAttribute(std::string_view s, std::string* out) {
         break;
       case '"':
         *out += "&quot;";
+        break;
+      // Literal whitespace in attribute values is subject to
+      // attribute-value normalization (tabs and line ends become
+      // spaces); escaping makes serialize -> parse the identity.
+      case '\t':
+        *out += "&#x9;";
+        break;
+      case '\n':
+        *out += "&#xA;";
+        break;
+      case '\r':
+        *out += "&#xD;";
         break;
       default:
         *out += c;

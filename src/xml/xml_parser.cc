@@ -1,6 +1,8 @@
 #include "xml/xml_parser.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <string>
 
 namespace exrquy {
@@ -22,6 +24,33 @@ bool IsAllWhitespace(std::string_view s) {
   return true;
 }
 
+// XML 1.0 Char production: #x9 | #xA | #xD | [#x20-#xD7FF] |
+// [#xE000-#xFFFD] | [#x10000-#x10FFFF].
+bool IsXmlChar(long cp) {
+  return cp == 0x9 || cp == 0xA || cp == 0xD ||
+         (cp >= 0x20 && cp <= 0xD7FF) || (cp >= 0xE000 && cp <= 0xFFFD) ||
+         (cp >= 0x10000 && cp <= 0x10FFFF);
+}
+
+// Appends a valid code point UTF-8 encoded (callers check IsXmlChar).
+void AppendUtf8(long cp, std::string* out) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
 class Parser {
  public:
   Parser(NodeStore* store, std::string_view text,
@@ -41,9 +70,11 @@ class Parser {
   }
 
  private:
-  Status Error(std::string message) {
+  Status Error(std::string message) { return ErrorAt(std::move(message), pos_); }
+
+  Status ErrorAt(std::string message, size_t offset) {
     message += " (offset ";
-    message += std::to_string(pos_);
+    message += std::to_string(offset);
     message += ")";
     return InvalidArgument(std::move(message));
   }
@@ -95,8 +126,13 @@ class Parser {
     return text_.substr(start, pos_ - start);
   }
 
-  // Decodes the predefined entities and numeric character references.
-  std::string DecodeText(std::string_view raw) {
+  // Decodes the five predefined entities and numeric character
+  // references (decimal and hex), emitting UTF-8. Malformed references —
+  // a bare '&', an unknown entity name, a charref that is empty, has
+  // trailing garbage, or names a code point outside the XML Char
+  // production — are rejected, per the well-formedness rules.
+  // `base_offset` is the document offset of raw[0], for diagnostics.
+  Result<std::string> DecodeText(std::string_view raw, size_t base_offset) {
     std::string out;
     out.reserve(raw.size());
     for (size_t i = 0; i < raw.size();) {
@@ -106,8 +142,8 @@ class Parser {
       }
       size_t semi = raw.find(';', i);
       if (semi == std::string_view::npos) {
-        out += raw[i++];
-        continue;
+        return ErrorAt("'&' must start an entity or character reference",
+                       base_offset + i);
       }
       std::string_view ent = raw.substr(i + 1, semi - i - 1);
       if (ent == "lt") {
@@ -121,20 +157,24 @@ class Parser {
       } else if (ent == "apos") {
         out += '\'';
       } else if (!ent.empty() && ent[0] == '#') {
-        int code = 0;
-        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
-          code = static_cast<int>(
-              std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16));
-        } else {
-          code = static_cast<int>(
-              std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10));
+        bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+        std::string digits(ent.substr(hex ? 2 : 1));
+        if (digits.empty()) {
+          return ErrorAt("empty character reference", base_offset + i);
         }
-        // ASCII only; non-ASCII code points are passed through as '?'.
-        out += (code > 0 && code < 128) ? static_cast<char>(code) : '?';
+        errno = 0;
+        char* end = nullptr;
+        long code = std::strtol(digits.c_str(), &end, hex ? 16 : 10);
+        if (errno == ERANGE || end != digits.c_str() + digits.size() ||
+            !IsXmlChar(code)) {
+          return ErrorAt("invalid character reference &" + std::string(ent) +
+                             ";",
+                         base_offset + i);
+        }
+        AppendUtf8(code, &out);
       } else {
-        out += '&';
-        out += ent;
-        out += ';';
+        return ErrorAt("unknown entity &" + std::string(ent) + ";",
+                       base_offset + i);
       }
       i = semi + 1;
     }
@@ -175,7 +215,9 @@ class Parser {
       size_t start = pos_;
       while (!AtEnd() && Peek() != quote) ++pos_;
       if (AtEnd()) return Error("unterminated attribute value");
-      std::string value = DecodeText(text_.substr(start, pos_ - start));
+      EXRQUY_ASSIGN_OR_RETURN(
+          std::string value,
+          DecodeText(text_.substr(start, pos_ - start), start));
       ++pos_;
       builder_.Attribute(attr_name, value);
     }
@@ -192,7 +234,8 @@ class Parser {
       if (pos_ > start) {
         std::string_view raw = text_.substr(start, pos_ - start);
         if (!(options_.strip_whitespace && IsAllWhitespace(raw))) {
-          builder_.Text(DecodeText(raw));
+          EXRQUY_ASSIGN_OR_RETURN(std::string text, DecodeText(raw, start));
+          builder_.Text(text);
         }
       }
       if (AtEnd()) return Error("unterminated element content");

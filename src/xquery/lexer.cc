@@ -1,9 +1,39 @@
 #include "xquery/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace exrquy {
+
+namespace {
+
+// Appends `cp` UTF-8 encoded; false for values outside Unicode or in the
+// surrogate gap.
+bool AppendUtf8(long cp, std::string* out) {
+  if (cp <= 0 || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+    return false;
+  }
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+  return true;
+}
+
+}  // namespace
 
 bool IsNcNameStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -45,7 +75,7 @@ std::string DecodeEntities(std::string_view raw) {
       } else {
         code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
       }
-      out += (code > 0 && code < 128) ? static_cast<char>(code) : '?';
+      if (!AppendUtf8(code, &out)) out += '?';
     } else {
       out += '&';
       out += ent;
@@ -170,12 +200,29 @@ Status Lexer::Advance() {
       }
     }
     std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
     if (is_double) {
       cur_.kind = TokKind::kDouble;
-      cur_.double_value = std::strtod(num.c_str(), nullptr);
+      errno = 0;
+      cur_.double_value = std::strtod(num.c_str(), &end);
+      // ERANGE covers both directions; only overflow (±HUGE_VAL) is an
+      // error — gradual underflow to 0 is fine for xs:double.
+      if (errno == ERANGE && std::fabs(cur_.double_value) == HUGE_VAL) {
+        return Error("numeric literal out of xs:double range: " + num);
+      }
+      if (end != num.c_str() + num.size()) {
+        return Error("malformed numeric literal: " + num);
+      }
     } else {
       cur_.kind = TokKind::kInt;
-      cur_.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      errno = 0;
+      cur_.int_value = std::strtoll(num.c_str(), &end, 10);
+      if (errno == ERANGE) {
+        return Error("integer literal out of xs:integer range: " + num);
+      }
+      if (end != num.c_str() + num.size()) {
+        return Error("malformed numeric literal: " + num);
+      }
     }
     cur_.text = std::move(num);
     return Status::Ok();

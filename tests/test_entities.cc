@@ -1,0 +1,121 @@
+// Entity / character-reference corpus suite: every document under
+// corpus/entities/good/ must reach a serialization fixpoint
+// (parse -> serialize -> parse -> serialize is stable), and every
+// document under corpus/entities/bad/ must be rejected with a clean
+// kInvalidArgument — malformed references never silently pass through.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/str_pool.h"
+#include "xml/node_store.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace exrquy {
+namespace {
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::filesystem::path> CorpusFiles(const char* subdir) {
+  std::filesystem::path dir(EXRQUY_TEST_CORPUS_DIR);
+  dir /= "entities";
+  dir /= subdir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".xml") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<std::string> ParseAndSerialize(std::string_view xml) {
+  StrPool strings;
+  NodeStore store(&strings);
+  XmlParseOptions opts;
+  opts.strip_whitespace = false;  // round-trip every byte of text
+  EXRQUY_ASSIGN_OR_RETURN(NodeIdx root, ParseXml(&store, xml, opts));
+  return SerializeNode(store, root);
+}
+
+TEST(EntityCorpusTest, GoodFilesReachSerializationFixpoint) {
+  std::vector<std::filesystem::path> files = CorpusFiles("good");
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    std::string raw = ReadFile(path);
+    Result<std::string> once = ParseAndSerialize(raw);
+    ASSERT_TRUE(once.ok()) << path << ": " << once.status().ToString();
+    Result<std::string> twice = ParseAndSerialize(*once);
+    ASSERT_TRUE(twice.ok()) << path << ": reserialized form "
+                            << "no longer parses: "
+                            << twice.status().ToString() << "\n"
+                            << *once;
+    EXPECT_EQ(*once, *twice) << path << ": serialization is not a fixpoint";
+  }
+}
+
+TEST(EntityCorpusTest, BadFilesAreRejected) {
+  std::vector<std::filesystem::path> files = CorpusFiles("bad");
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    std::string raw = ReadFile(path);
+    StrPool strings;
+    NodeStore store(&strings);
+    Result<NodeIdx> parsed = ParseXml(&store, raw);
+    EXPECT_FALSE(parsed.ok()) << path << " parsed but must be rejected";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << path;
+    }
+    // Rejection rolls the store back completely.
+    EXPECT_EQ(store.node_count(), 0u) << path;
+    EXPECT_EQ(store.fragment_count(), 0u) << path;
+  }
+}
+
+// Decoded references serialize back as their canonical escaped form —
+// the literal characters never leak unescaped into the output.
+TEST(EntityCorpusTest, ControlCharactersSerializeAsCharRefs) {
+  StrPool strings;
+  NodeStore store(&strings);
+  XmlParseOptions opts;
+  opts.strip_whitespace = false;
+  Result<NodeIdx> root =
+      ParseXml(&store, "<a t=\"x&#x9;y&#xA;z&#xD;w\">p&#xD;q</a>", opts);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  std::string out = SerializeNode(store, *root);
+  EXPECT_EQ(out, "<a t=\"x&#x9;y&#xA;z&#xD;w\">p&#xD;q</a>");
+}
+
+TEST(EntityCorpusTest, MultiByteCharRefsDecodeToUtf8) {
+  StrPool strings;
+  NodeStore store(&strings);
+  Result<NodeIdx> root = ParseXml(&store, "<a>&#xE9;&#x263A;&#x10348;</a>");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  // U+00E9 / U+263A / U+10348 as 2-, 3-, and 4-byte UTF-8.
+  EXPECT_EQ(store.StringValue(*root),
+            "\xC3\xA9"
+            "\xE2\x98\xBA"
+            "\xF0\x90\x8D\x88");
+}
+
+TEST(EntityCorpusTest, ErrorsNameTheOffendingReference) {
+  StrPool strings;
+  NodeStore store(&strings);
+  Result<NodeIdx> r = ParseXml(&store, "<a>&bogus;</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("bogus"), std::string::npos)
+      << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace exrquy

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -82,9 +83,22 @@ std::string NodeExpr(Rng* rng, int depth, const std::string& var) {
   }
 }
 
+// Scalar edge literals for the arithmetic productions: INT64 boundaries,
+// the first integer a double cannot represent, and an operand whose
+// square overflows — steering the fuzz through the exact-integer,
+// FOAR0001 and FOAR0002 paths (divergence would mean one stack wraps,
+// loses precision, or errors where the other does not).
+const char* kEdgeLiterals[] = {
+    "9223372036854775807",
+    "(-9223372036854775807 - 1)",
+    "9007199254740993",
+    "3037000500",
+    "-1",
+};
+
 std::string AtomicExpr(Rng* rng, int depth, const std::string& var) {
   if (depth <= 0) return std::to_string(rng->Below(20));
-  switch (rng->Below(5)) {
+  switch (rng->Below(8)) {
     case 0:
       return "count(" + NodeExpr(rng, depth - 1, var) + ")";
     case 1:
@@ -95,6 +109,17 @@ std::string AtomicExpr(Rng* rng, int depth, const std::string& var) {
     case 3:
       return "(" + AtomicExpr(rng, depth - 1, var) + " * " +
              std::to_string(1 + rng->Below(4)) + ")";
+    case 4:
+      return "(" + AtomicExpr(rng, depth - 1, var) + " idiv " +
+             std::to_string(1 + rng->Below(6)) + ")";
+    case 5:
+      // The divisor can evaluate to 0: both configurations must then
+      // fail identically (FOAR0001).
+      return "(" + AtomicExpr(rng, depth - 1, var) + " mod " +
+             AtomicExpr(rng, depth - 1, var) + ")";
+    case 6:
+      return kEdgeLiterals[rng->Below(
+          static_cast<int>(std::size(kEdgeLiterals)))];
     default:
       return std::to_string(rng->Below(20));
   }

@@ -3,6 +3,7 @@
 // and raw-offset bookkeeping for constructor parsing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "xquery/lexer.h"
@@ -133,6 +134,46 @@ TEST(LexerTest, DecodeEntitiesHelper) {
   EXPECT_EQ(DecodeEntities("&#65;&#x42;"), "AB");
   EXPECT_EQ(DecodeEntities("no entities"), "no entities");
   EXPECT_EQ(DecodeEntities("&unknown;"), "&unknown;");
+}
+
+TEST(LexerTest, DecodeEntitiesMultiByteCharRefs) {
+  // U+00E9, U+263A, U+10348 as proper 2-/3-/4-byte UTF-8, not a
+  // truncated single byte.
+  EXPECT_EQ(DecodeEntities("&#xE9;"), "\xC3\xA9");
+  EXPECT_EQ(DecodeEntities("&#x263A;"), "\xE2\x98\xBA");
+  EXPECT_EQ(DecodeEntities("&#x10348;"), "\xF0\x90\x8D\x88");
+  // Out-of-range / surrogate code points have no UTF-8 form.
+  EXPECT_EQ(DecodeEntities("&#x110000;"), "?");
+  EXPECT_EQ(DecodeEntities("&#xD800;"), "?");
+}
+
+// Pre-fix, 1e999 lexed as +inf and out-of-range integers wrapped through
+// strtoll saturation without any error.
+TEST(LexerTest, DoubleLiteralOverflowIsAnError) {
+  Lexer lexer("1e999");
+  Status st = lexer.Advance();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("1e999"), std::string::npos);
+}
+
+TEST(LexerTest, IntegerLiteralOverflowIsAnError) {
+  Lexer lexer("99999999999999999999");  // > INT64_MAX
+  Status st = lexer.Advance();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, LargeButRepresentableLiteralsStillLex) {
+  auto toks = LexAll("9223372036854775807 1e308 5e-324");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[0].int_value, INT64_MAX);
+  EXPECT_EQ(toks[1].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 1e308);
+  // Subnormal underflow is representable (rounds toward zero), not an
+  // overflow: it must lex.
+  EXPECT_EQ(toks[2].kind, TokKind::kDouble);
 }
 
 }  // namespace

@@ -224,5 +224,43 @@ TEST_F(ReferenceTest, RandomizedQueries) {
   }
 }
 
+// Scalar edge cases swept by the correctness pass: both stacks must
+// agree on F&O integer semantics — sign rules, exactness past 2^53,
+// INT64 boundaries, and the FOAR0001/FOAR0002 error conditions (where
+// agreement means both fail).
+TEST_F(ReferenceTest, ScalarEdgeCases) {
+  // idiv truncation and mod sign rules, all sign combinations.
+  ExpectAgree("7 idiv 2");
+  ExpectAgree("7 idiv -2");
+  ExpectAgree("-7 idiv 2");
+  ExpectAgree("-7 idiv -2");
+  ExpectAgree("7 mod 2");
+  ExpectAgree("7 mod -2");
+  ExpectAgree("-7 mod 2");
+  ExpectAgree("-7 mod -2");
+  // Exactness beyond the double mantissa (pre-fix: idiv lost the +1).
+  ExpectAgree("9007199254740993 idiv 1");
+  ExpectAgree("9007199254740993 mod 9007199254740992");
+  // INT64 boundaries. INT64_MIN has no literal form (the unary minus
+  // applies to an out-of-range positive literal), so build it by
+  // subtraction.
+  ExpectAgree("(-9223372036854775807 - 1) idiv -1");  // FOAR0002 on both
+  ExpectAgree("(-9223372036854775807 - 1) mod -1");   // exactly 0 on both
+  ExpectAgree("9223372036854775807 + 1");             // FOAR0002 on both
+  ExpectAgree("0 - (-9223372036854775807 - 1)");      // FOAR0002 on both
+  ExpectAgree("-(-9223372036854775807 - 1)");         // unary negation
+  ExpectAgree("3037000500 * 3037000500");             // mul overflow
+  // Division by zero, every operator.
+  ExpectAgree("1 div 0");
+  ExpectAgree("1 idiv 0");
+  ExpectAgree("1 mod 0");
+  // Double-path idiv: truncation and the NaN/INF/overflow errors.
+  ExpectAgree("7.5 idiv 2");
+  ExpectAgree("-7.5 idiv 2");
+  ExpectAgree("1.0 idiv 0.0");
+  ExpectAgree("(1e300 * 1e300) idiv 2");  // INF dividend
+  ExpectAgree("1e300 idiv 1.0");          // quotient overflows int64
+}
+
 }  // namespace
 }  // namespace exrquy

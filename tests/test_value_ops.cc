@@ -3,6 +3,10 @@
 // the total sort order behind %, and double formatting.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <tuple>
+
 #include "engine/value.h"
 #include "xml/xml_parser.h"
 
@@ -87,6 +91,97 @@ TEST_F(ValueOpsTest, DivisionSemantics) {
   EXPECT_FALSE(ops_.Arith(FunKind::kDiv, Value::Int(1), Value::Int(0)).ok());
   EXPECT_FALSE(
       ops_.Arith(FunKind::kAdd, S("nope"), Value::Int(1)).ok());
+}
+
+// F&O sign rules: idiv truncates toward zero, mod keeps the dividend's
+// sign, for every sign combination.
+TEST_F(ValueOpsTest, IDivAndModSigns) {
+  auto idiv = [&](int64_t a, int64_t b) {
+    return ops_.Arith(FunKind::kIDiv, Value::Int(a), Value::Int(b))->i;
+  };
+  auto mod = [&](int64_t a, int64_t b) {
+    return ops_.Arith(FunKind::kMod, Value::Int(a), Value::Int(b))->i;
+  };
+  EXPECT_EQ(idiv(7, -2), -3);
+  EXPECT_EQ(idiv(-7, 2), -3);
+  EXPECT_EQ(idiv(-7, -2), 3);
+  EXPECT_EQ(mod(7, -2), 1);
+  EXPECT_EQ(mod(-7, 2), -1);
+  EXPECT_EQ(mod(-7, -2), -1);
+}
+
+// Pre-fix, integer idiv went through double division and silently lost
+// precision past 2^53.
+TEST_F(ValueOpsTest, IntegerIDivIsExact) {
+  const int64_t big = 9007199254740993;  // 2^53 + 1
+  Result<Value> r = ops_.Arith(FunKind::kIDiv, Value::Int(big), Value::Int(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, ValueKind::kInt);
+  EXPECT_EQ(r->i, big);
+}
+
+TEST_F(ValueOpsTest, DivideByZeroIsFoar0001) {
+  for (FunKind op : {FunKind::kDiv, FunKind::kIDiv, FunKind::kMod}) {
+    Result<Value> r = ops_.Arith(op, Value::Int(1), Value::Int(0));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+    EXPECT_NE(r.status().message().find("FOAR0001"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+// INT64_MIN edge cases: idiv -1 overflows (FOAR0002); mod -1 is exactly
+// 0 — pre-fix both were undefined behavior (hardware trap under UBSan).
+TEST_F(ValueOpsTest, Int64MinEdgeCases) {
+  const int64_t min = std::numeric_limits<int64_t>::min();
+  Result<Value> overflow =
+      ops_.Arith(FunKind::kIDiv, Value::Int(min), Value::Int(-1));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find("FOAR0002"), std::string::npos);
+  Result<Value> zero =
+      ops_.Arith(FunKind::kMod, Value::Int(min), Value::Int(-1));
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->i, 0);
+}
+
+// Integer +, -, * detect overflow instead of wrapping (pre-fix: UB).
+TEST_F(ValueOpsTest, AddSubMulOverflowIsFoar0002) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  const int64_t min = std::numeric_limits<int64_t>::min();
+  for (auto [op, a, b] :
+       {std::tuple{FunKind::kAdd, max, int64_t{1}},
+        std::tuple{FunKind::kSub, min, int64_t{1}},
+        std::tuple{FunKind::kMul, max, int64_t{2}}}) {
+    Result<Value> r = ops_.Arith(op, Value::Int(a), Value::Int(b));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+    EXPECT_NE(r.status().message().find("FOAR0002"), std::string::npos)
+        << r.status().ToString();
+  }
+  // In-range results stay exact.
+  EXPECT_EQ(ops_.Arith(FunKind::kAdd, Value::Int(max - 1), Value::Int(1))->i,
+            max);
+}
+
+// Double-path idiv: NaN / infinite dividends and zero divisors error;
+// finite quotients truncate toward zero.
+TEST_F(ValueOpsTest, DoubleIDivEdgeCases) {
+  EXPECT_EQ(
+      ops_.Arith(FunKind::kIDiv, Value::Double(7.5), Value::Int(2))->i, 3);
+  EXPECT_EQ(
+      ops_.Arith(FunKind::kIDiv, Value::Int(-7), Value::Double(2.0))->i, -3);
+  EXPECT_FALSE(
+      ops_.Arith(FunKind::kIDiv, Value::Double(1.0), Value::Double(0.0)).ok());
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      ops_.Arith(FunKind::kIDiv, Value::Double(inf), Value::Int(2)).ok());
+  EXPECT_FALSE(
+      ops_.Arith(FunKind::kIDiv, Value::Double(nan), Value::Int(2)).ok());
+  // Quotients beyond int64 range overflow cleanly.
+  EXPECT_FALSE(
+      ops_.Arith(FunKind::kIDiv, Value::Double(1e300), Value::Double(1.0))
+          .ok());
 }
 
 TEST_F(ValueOpsTest, GeneralComparisonCasting) {
