@@ -17,20 +17,6 @@
 namespace exrquy {
 namespace {
 
-// DOT rendering with every % annotated by the order-provenance reasons
-// that keep it alive (opt/analyses.h).
-std::string AnnotatedDot(const QueryPlans& plans, OpId root,
-                         const StrPool& strings) {
-  ColSet seed;
-  for (ColId c : {col::iter(), col::pos(), col::item()}) {
-    if (plans.dag->op(root).HasCol(c)) seed.insert(c);
-  }
-  OrderProvenance prov =
-      ComputeOrderProvenance(*plans.dag, root, seed, &strings);
-  return PlanToDot(*plans.dag, root, strings,
-                   ProvenanceAnnotations(*plans.dag, root, prov));
-}
-
 void Show(Session* session, const char* title, const std::string& query,
           const QueryOptions& options, bool optimized) {
   Result<QueryPlans> plans = session->Plan(query, options);
@@ -62,20 +48,22 @@ void Run() {
       "for # — the residual %% implements iter->seq, which mode unordered\n"
       "does not disable.\n");
 
-  // Emit DOT renderings for inspection.
-  Result<QueryPlans> pa = session->Plan(q6, ordered);
-  Result<QueryPlans> pb = session->Plan(q6, unordered);
-  if (pa.ok() && pb.ok()) {
+  // Emit DOT renderings for inspection: the fully optimized plans, with
+  // every surviving % annotated by its order-provenance reasons and
+  // every traded % annotated — on its surviving replacement — by the
+  // rule (keyed-partition, semantic-type, order-dependency,
+  // arbitrary-order) and justification that eliminated it.
+  Result<OrderExplanation> ea = session->ExplainOrder(q6, ordered);
+  Result<OrderExplanation> eb = session->ExplainOrder(q6, unordered);
+  if (ea.ok() && eb.ok()) {
     FILE* fa = std::fopen("q6_ordered.dot", "w");
     if (fa != nullptr) {
-      std::fputs(AnnotatedDot(*pa, pa->initial, session->strings()).c_str(),
-                 fa);
+      std::fputs(ea->dot.c_str(), fa);
       std::fclose(fa);
     }
     FILE* fb = std::fopen("q6_unordered.dot", "w");
     if (fb != nullptr) {
-      std::fputs(AnnotatedDot(*pb, pb->initial, session->strings()).c_str(),
-                 fb);
+      std::fputs(eb->dot.c_str(), fb);
       std::fclose(fb);
     }
     std::printf("DOT plans written to q6_ordered.dot / q6_unordered.dot\n");

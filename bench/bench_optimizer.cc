@@ -10,11 +10,18 @@
 // baseline), so `framework_us` vs `legacy_us` is an apples-to-apples
 // walk of the same plans and should agree within noise.
 //
+// The per-domain columns isolate the marginal cost of the two
+// order-reasoning domains (semantic types, order dependencies) on top
+// of warmed prerequisites, and the surviving-% columns record the
+// quantity the whole exercise is about: how many blocking sorts remain
+// in the fully optimized plans, per ordering mode.
+//
 //   { "bench": "optimizer",
 //     "queries": [ {"name": "Q1", "ops": N,
 //                   "legacy_us": t, "framework_us": t,
-//                   "new_facts_us": t,
-//                   "plan_all_rewrites_ms": t, "plan_old_rewrites_ms": t},
+//                   "new_facts_us": t, "semtype_us": t, "orderdep_us": t,
+//                   "plan_all_rewrites_ms": t, "plan_old_rewrites_ms": t,
+//                   "rownum_ordered": n, "rownum_unordered": n},
 //                  ... ],
 //     "totals": { "legacy_us": t, "framework_us": t, ... } }
 //
@@ -25,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "algebra/stats.h"
 #include "bench/bench_util.h"
 #include "opt/analyses.h"
 
@@ -292,8 +300,12 @@ struct Row {
   double legacy_us = 0;
   double framework_us = 0;
   double new_facts_us = 0;
+  double semtype_us = 0;
+  double orderdep_us = 0;
   double plan_all_ms = 0;
   double plan_old_ms = 0;
+  size_t rownum_ordered = 0;
+  size_t rownum_unordered = 0;
 };
 
 void Run() {
@@ -303,6 +315,7 @@ void Run() {
   old_rewrites.distinct_by_keys = false;
   old_rewrites.empty_short_circuit = false;
   old_rewrites.rownum_by_keys = false;
+  old_rewrites.rownum_by_od = false;
 
   const int kAnalysisReps = 40;
   const int kPlanReps = 9;
@@ -324,7 +337,7 @@ void Run() {
     row.name = query.name;
     row.ops = reachable.size();
 
-    std::vector<double> legacy, framework, fresh;
+    std::vector<double> legacy, framework, fresh, semtype, orderdep;
     for (int i = 0; i < kAnalysisReps; ++i) {
       Clock::time_point t0 = Clock::now();
       auto li = LegacyICols(dag, root, seed);
@@ -357,10 +370,47 @@ void Run() {
       }
       (void)ComputeOrderProvenance(dag, root, seed, nullptr);
       fresh.push_back(UsSince(t0));
+
+      // The order-reasoning domains, each timed on top of warmed
+      // prerequisites so the column is the domain's marginal cost, not
+      // a re-measurement of the facts it consumes.
+      PropertyTracker oprops(&dag);
+      CardTracker ocards(&dag);
+      KeyTracker okeys(&dag, &ocards);
+      for (OpId id : reachable) {
+        (void)oprops.Get(id);
+        (void)ocards.Get(id);
+        (void)okeys.Get(id);
+      }
+      t0 = Clock::now();
+      SemTypeTracker sem(&dag, &ocards);
+      for (OpId id : reachable) (void)sem.Get(id);
+      semtype.push_back(UsSince(t0));
+      t0 = Clock::now();
+      OrderTracker od(&dag, &oprops, &ocards, &okeys, &sem);
+      for (OpId id : reachable) (void)od.Get(id);
+      orderdep.push_back(UsSince(t0));
     }
     row.legacy_us = Median(legacy);
     row.framework_us = Median(framework);
     row.new_facts_us = Median(fresh);
+    row.semtype_us = Median(semtype);
+    row.orderdep_us = Median(orderdep);
+
+    // Surviving % in the fully optimized plans, both ordering modes —
+    // the corpus-wide ordered total is the number the order-dependency
+    // trades push down (tests/test_plan_shapes.cc pins it).
+    QueryOptions ordered;  // exploit on, mode ordered
+    Result<QueryPlans> po = session->Plan(query.text, ordered);
+    if (po.ok()) {
+      row.rownum_ordered =
+          CollectPlanStats(*po->dag, po->optimized).rownum_ops;
+    }
+    Result<QueryPlans> pu = session->Plan(query.text, enabled);
+    if (pu.ok()) {
+      row.rownum_unordered =
+          CollectPlanStats(*pu->dag, pu->optimized).rownum_ops;
+    }
 
     std::vector<double> all_ms, old_ms;
     for (int i = 0; i < kPlanReps; ++i) {
@@ -378,24 +428,36 @@ void Run() {
 
   std::printf(
       "Optimizer analysis cost — framework vs pre-framework walks\n\n");
-  std::printf("%-6s %5s %11s %13s %13s %10s %10s\n", "query", "ops",
-              "legacy_us", "framework_us", "new_facts_us", "plan_all",
-              "plan_old");
+  std::printf("%-6s %5s %11s %13s %13s %11s %11s %10s %10s %6s %6s\n",
+              "query", "ops", "legacy_us", "framework_us", "new_facts_us",
+              "semtype_us", "orderdep_us", "plan_all", "plan_old", "%ord",
+              "%unord");
   Row total;
   for (const Row& r : rows) {
-    std::printf("%-6s %5zu %11.1f %13.1f %13.1f %9.2fms %9.2fms\n",
-                r.name.c_str(), r.ops, r.legacy_us, r.framework_us,
-                r.new_facts_us, r.plan_all_ms, r.plan_old_ms);
+    std::printf(
+        "%-6s %5zu %11.1f %13.1f %13.1f %11.1f %11.1f %9.2fms %9.2fms "
+        "%6zu %6zu\n",
+        r.name.c_str(), r.ops, r.legacy_us, r.framework_us, r.new_facts_us,
+        r.semtype_us, r.orderdep_us, r.plan_all_ms, r.plan_old_ms,
+        r.rownum_ordered, r.rownum_unordered);
     total.ops += r.ops;
     total.legacy_us += r.legacy_us;
     total.framework_us += r.framework_us;
     total.new_facts_us += r.new_facts_us;
+    total.semtype_us += r.semtype_us;
+    total.orderdep_us += r.orderdep_us;
     total.plan_all_ms += r.plan_all_ms;
     total.plan_old_ms += r.plan_old_ms;
+    total.rownum_ordered += r.rownum_ordered;
+    total.rownum_unordered += r.rownum_unordered;
   }
-  std::printf("%-6s %5zu %11.1f %13.1f %13.1f %9.2fms %9.2fms\n", "total",
-              total.ops, total.legacy_us, total.framework_us,
-              total.new_facts_us, total.plan_all_ms, total.plan_old_ms);
+  std::printf(
+      "%-6s %5zu %11.1f %13.1f %13.1f %11.1f %11.1f %9.2fms %9.2fms "
+      "%6zu %6zu\n",
+      "total", total.ops, total.legacy_us, total.framework_us,
+      total.new_facts_us, total.semtype_us, total.orderdep_us,
+      total.plan_all_ms, total.plan_old_ms, total.rownum_ordered,
+      total.rownum_unordered);
 
   FILE* f = std::fopen("BENCH_optimizer.json", "w");
   if (f == nullptr) return;
@@ -405,19 +467,26 @@ void Run() {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ops\": %zu, \"legacy_us\": %.1f, "
                  "\"framework_us\": %.1f, \"new_facts_us\": %.1f, "
+                 "\"semtype_us\": %.1f, \"orderdep_us\": %.1f, "
                  "\"plan_all_rewrites_ms\": %.3f, "
-                 "\"plan_old_rewrites_ms\": %.3f}%s\n",
+                 "\"plan_old_rewrites_ms\": %.3f, "
+                 "\"rownum_ordered\": %zu, \"rownum_unordered\": %zu}%s\n",
                  r.name.c_str(), r.ops, r.legacy_us, r.framework_us,
-                 r.new_facts_us, r.plan_all_ms, r.plan_old_ms,
+                 r.new_facts_us, r.semtype_us, r.orderdep_us, r.plan_all_ms,
+                 r.plan_old_ms, r.rownum_ordered, r.rownum_unordered,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"totals\": {\"ops\": %zu, \"legacy_us\": %.1f, "
                "\"framework_us\": %.1f, \"new_facts_us\": %.1f, "
+               "\"semtype_us\": %.1f, \"orderdep_us\": %.1f, "
                "\"plan_all_rewrites_ms\": %.3f, "
-               "\"plan_old_rewrites_ms\": %.3f}\n}\n",
+               "\"plan_old_rewrites_ms\": %.3f, "
+               "\"rownum_ordered\": %zu, \"rownum_unordered\": %zu}\n}\n",
                total.ops, total.legacy_us, total.framework_us,
-               total.new_facts_us, total.plan_all_ms, total.plan_old_ms);
+               total.new_facts_us, total.semtype_us, total.orderdep_us,
+               total.plan_all_ms, total.plan_old_ms, total.rownum_ordered,
+               total.rownum_unordered);
   std::fclose(f);
   std::printf("\nwritten to BENCH_optimizer.json\n");
 }

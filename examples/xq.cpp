@@ -243,6 +243,14 @@ int main(int argc, char** argv) {
                    explained.status().ToString().c_str());
       return 1;
     }
+    for (const auto& trade : explained->trades) {
+      std::printf("%s  [%u]", trade.label.c_str(), trade.op);
+      if (!trade.source.empty()) {
+        std::printf("  -- %s", trade.source.c_str());
+      }
+      std::printf("\n  order traded (%s): %s\n", trade.rule.c_str(),
+                  trade.detail.c_str());
+    }
     if (explained->sorts.empty()) {
       std::printf("no sorts survive optimization: the plan is fully "
                   "order-indifferent\n");

@@ -188,6 +188,7 @@ uint64_t Dag::HashOp(const Op& op) const {
   }
   HashMix(&h, op.part);
   for (ColId c : op.keys) HashMix(&h, c);
+  HashMix(&h, op.positional ? 1 : 0);
   HashMix(&h, static_cast<uint64_t>(op.fun));
   for (ColId c : op.args) HashMix(&h, c);
   HashMix(&h, static_cast<uint64_t>(op.aggr));
@@ -209,7 +210,8 @@ bool Dag::OpEquals(const Op& a, const Op& b) const {
   if (a.min_card != b.min_card || a.max_card != b.max_card) return false;
   return a.kind == b.kind && a.children == b.children && a.proj == b.proj &&
          a.col == b.col && a.col2 == b.col2 && a.order == b.order &&
-         a.part == b.part && a.keys == b.keys && a.fun == b.fun &&
+         a.part == b.part && a.keys == b.keys &&
+         a.positional == b.positional && a.fun == b.fun &&
          a.args == b.args && a.aggr == b.aggr && a.axis == b.axis &&
          a.test == b.test && a.name == b.name &&
          a.constructor_id == b.constructor_id && a.lit == b.lit;
@@ -449,11 +451,12 @@ OpId Dag::RowNum(OpId child, ColId result, std::vector<SortKey> order,
   return Add(std::move(op));
 }
 
-OpId Dag::RowId(OpId child, ColId result) {
+OpId Dag::RowId(OpId child, ColId result, bool positional) {
   Op op;
   op.kind = OpKind::kRowId;
   op.children = {child};
   op.col = result;
+  op.positional = positional;
   return Add(std::move(op));
 }
 

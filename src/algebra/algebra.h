@@ -166,6 +166,12 @@ struct Op {
   ColId part = kNoCol;
   // kDifference / kSemiJoin: key columns.
   std::vector<ColId> keys;
+  // kRowId: the ids are proven row positions (1..n in physical row
+  // order), not merely arbitrary unique numbers. Set when an order-
+  // dependency rewrite degraded a % whose requested order the input
+  // already realizes — downstream analyses may rely on the column being
+  // physically ascending, so it is NOT an arbitrary-order column.
+  bool positional = false;
   // kCardCheck: per-iteration cardinality bounds.
   int64_t min_card = 0;
   int64_t max_card = 0;
@@ -234,7 +240,8 @@ class Dag {
   OpId Distinct(OpId child);
   OpId RowNum(OpId child, ColId result, std::vector<SortKey> order,
               ColId part);
-  OpId RowId(OpId child, ColId result);
+  // `positional` marks the ids as proven row positions (see Op::positional).
+  OpId RowId(OpId child, ColId result, bool positional = false);
   OpId Fun(OpId child, FunKind fun, ColId result, std::vector<ColId> args);
   // `order_col` (optional) names a column that orders rows within each
   // group before aggregation; only kStrJoin is order sensitive.

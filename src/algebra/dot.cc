@@ -95,7 +95,9 @@ std::string OpToString(const Dag& dag, OpId id, const StrPool& strings) {
       break;
     }
     case OpKind::kRowId:
-      out << "RowId " << ColName(op.col);
+      // `^` marks a positional # — the ids are proven row positions, not
+      // arbitrary unique numbers (Op::positional).
+      out << "RowId" << (op.positional ? "^ " : " ") << ColName(op.col);
       break;
     case OpKind::kFun: {
       out << "Fun " << ColName(op.col) << ":" << FunKindName(op.fun) << "(";

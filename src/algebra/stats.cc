@@ -14,6 +14,7 @@ PlanStats CollectPlanStats(const Dag& dag, OpId root) {
         break;
       case OpKind::kRowId:
         ++stats.rowid_ops;
+        if (op.positional) ++stats.positional_rowid_ops;
         break;
       case OpKind::kStep:
         ++stats.step_ops;

@@ -15,6 +15,7 @@ struct PlanStats {
   size_t total_ops = 0;
   size_t rownum_ops = 0;        // % operators (blocking sorts)
   size_t rowid_ops = 0;         // # operators (free numbering)
+  size_t positional_rowid_ops = 0;  // #^ subset: ids proven row positions
   size_t step_ops = 0;          // ⊙ operators
   size_t distinct_ops = 0;
   std::map<std::string, size_t> by_kind;

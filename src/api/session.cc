@@ -89,8 +89,10 @@ Result<QueryPlans> PlanQuery(std::string_view query,
   oopts.rewrites.distinct_by_keys = options.distinct_by_keys;
   oopts.rewrites.empty_short_circuit = options.empty_short_circuit;
   oopts.rewrites.rownum_by_keys = options.rownum_by_keys;
+  oopts.rewrites.rownum_by_od = options.rownum_by_od;
   oopts.verify_each_pass = options.verify_each_pass;
   oopts.strings = strings;
+  oopts.trade_log = &plans.trades;
   EXRQUY_ASSIGN_OR_RETURN(
       plans.optimized, Optimize(plans.dag.get(), plans.initial, oopts));
 
@@ -134,8 +136,31 @@ Result<OrderExplanation> Session::ExplainOrder(std::string_view query,
     p.reasons = prov.ReasonsFor(id, op.col);
     out.sorts.push_back(std::move(p));
   }
-  out.dot = PlanToDot(dag, plans.optimized, strings_,
-                      ProvenanceAnnotations(dag, plans.optimized, prov));
+  for (const RewriteTrade& t : plans.trades) {
+    OrderExplanation::Trade trade;
+    trade.op = t.from;
+    trade.label = OpToString(dag, t.from, strings_);
+    trade.source = dag.op(t.from).prov;
+    trade.rule = t.rule;
+    trade.detail = t.detail;
+    out.trades.push_back(std::move(trade));
+  }
+  std::map<OpId, std::vector<std::string>> annotations =
+      ProvenanceAnnotations(dag, plans.optimized, prov);
+  // Annotate the surviving replacements of traded %s with the trade's
+  // justification (the eliminated % itself is no longer in the plan).
+  for (const RewriteTrade& t : plans.trades) {
+    annotations[t.to].push_back("order traded (" + t.rule + "): " +
+                                t.detail);
+  }
+  // Annotations for ops that did not survive later passes would confuse
+  // the DOT rendering: restrict to the final plan.
+  std::map<OpId, std::vector<std::string>> live;
+  for (OpId id : dag.ReachableFrom(plans.optimized)) {
+    auto it = annotations.find(id);
+    if (it != annotations.end()) live.emplace(id, std::move(it->second));
+  }
+  out.dot = PlanToDot(dag, plans.optimized, strings_, live);
   return out;
 }
 

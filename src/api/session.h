@@ -26,6 +26,7 @@
 #include "engine/eval.h"
 #include "engine/faults.h"
 #include "engine/profile.h"
+#include "opt/rewrites.h"
 #include "xml/node_store.h"
 #include "xquery/ast.h"
 
@@ -49,6 +50,7 @@ struct QueryOptions {
   bool distinct_by_keys = true;      // key columns elide Distinct
   bool empty_short_circuit = true;   // statically empty sub-plans collapse
   bool rownum_by_keys = true;        // keyed partitions make % rank 1
+  bool rownum_by_od = true;          // order-dependency/semantic-type trades
 
   // Re-verifies the plan after every optimizer pass (opt/verify.h) and
   // names the first offending rewrite on failure. Every compiled and
@@ -115,6 +117,9 @@ struct QueryPlans {
   std::unique_ptr<Dag> dag;
   OpId initial = kNoOp;
   OpId optimized = kNoOp;
+  // Every % the rewrite passes eliminated, with the rule that fired and
+  // its justification (opt/rewrites.h).
+  std::vector<RewriteTrade> trades;
 };
 
 // The front half of the pipeline — parse -> normalize -> compile ->
@@ -139,7 +144,17 @@ struct OrderExplanation {
     std::string source;  // originating source expression, when recorded
     std::vector<std::string> reasons;
   };
+  // One % the optimizer eliminated, with the justification for the
+  // trade (order dependency, semantic type, key, or arbitrary order).
+  struct Trade {
+    OpId op = kNoOp;     // the eliminated % (an id of the planning DAG)
+    std::string label;   // its rendering at elimination time
+    std::string source;  // originating source expression, when recorded
+    std::string rule;    // rewrite family, e.g. "order-dependency"
+    std::string detail;  // why the elimination is sound
+  };
   std::vector<SortPoint> sorts;  // every surviving %, bottom-up
+  std::vector<Trade> trades;     // every eliminated %, in trade order
   std::string dot;               // provenance-annotated DOT dump
 };
 

@@ -28,7 +28,10 @@ enum class StatusCode {
 };
 
 // A success-or-error value. Cheap to copy on the success path.
-class Status {
+// [[nodiscard]] on the type makes every Status-returning API warn when a
+// caller drops the result — silently ignored errors are the one failure
+// mode this style cannot otherwise catch.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -60,9 +63,10 @@ Status Cancelled(std::string message);
 Status DeadlineExceeded(std::string message);
 Status ResourceExhausted(std::string message);
 
-// Result<T> carries either a value or an error Status.
+// Result<T> carries either a value or an error Status. [[nodiscard]]
+// for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from values and errors keeps call sites terse,
   // the same convenience trade-off absl::StatusOr makes. The template

@@ -239,7 +239,9 @@ ColProps ConstArbAnalysis::Transfer(
       break;
     case OpKind::kRowId:
       inherit(child(0));
-      out.arbitrary.insert(op.col);
+      // Positional ids are proven row positions — physically ascending —
+      // so only an arbitrary # makes its column order-meaningless.
+      if (!op.positional) out.arbitrary.insert(op.col);
       break;
     case OpKind::kFun: {
       inherit(child(0));
@@ -546,6 +548,725 @@ ColSet KeyAnalysis::Transfer(const Dag& dag, OpId id,
 }
 
 const ColSet& KeyTracker::Get(OpId id) { return engine_.Get(id); }
+
+// ---------------------------------------------------------------------------
+// Semantic types.
+// ---------------------------------------------------------------------------
+
+const char* ItemKindName(ItemKind kind) {
+  switch (kind) {
+    case ItemKind::kInt:
+      return "int";
+    case ItemKind::kNumeric:
+      return "numeric";
+    case ItemKind::kString:
+      return "string";
+    case ItemKind::kBool:
+      return "bool";
+    case ItemKind::kNode:
+      return "node";
+    case ItemKind::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+bool KindLe(ItemKind a, ItemKind b) {
+  if (a == b || b == ItemKind::kAny) return true;
+  return a == ItemKind::kInt && b == ItemKind::kNumeric;
+}
+
+ItemKind KindJoin(ItemKind a, ItemKind b) {
+  if (KindLe(a, b)) return b;
+  if (KindLe(b, a)) return a;
+  return ItemKind::kAny;
+}
+
+ItemKind SemType::KindOf(ColId c) const {
+  auto it = kinds.find(c);
+  return it == kinds.end() ? ItemKind::kAny : it->second;
+}
+
+namespace {
+
+// The static kind of one literal value. kUntyped compares in
+// OrderCompare's string class (engine/value.cc), hence kString.
+ItemKind KindOfValue(const Value& v) {
+  switch (v.kind) {
+    case ValueKind::kInt:
+      return ItemKind::kInt;
+    case ValueKind::kDouble:
+      return ItemKind::kNumeric;
+    case ValueKind::kString:
+    case ValueKind::kUntyped:
+      return ItemKind::kString;
+    case ValueKind::kBool:
+      return ItemKind::kBool;
+    case ValueKind::kNode:
+      return ItemKind::kNode;
+  }
+  return ItemKind::kAny;
+}
+
+// The kind of a ⊕ result, given the kind of its first argument.
+ItemKind KindOfFun(FunKind fun, ItemKind arg0) {
+  switch (fun) {
+    case FunKind::kIDiv:
+    case FunKind::kStringLength:
+      return ItemKind::kInt;
+    case FunKind::kAdd:
+    case FunKind::kSub:
+    case FunKind::kMul:
+    case FunKind::kDiv:
+    case FunKind::kMod:
+    case FunKind::kNeg:
+    case FunKind::kToDouble:
+    case FunKind::kAbs:
+    case FunKind::kFloor:
+    case FunKind::kCeiling:
+    case FunKind::kRound:
+      return ItemKind::kNumeric;
+    case FunKind::kEq:
+    case FunKind::kNe:
+    case FunKind::kLt:
+    case FunKind::kLe:
+    case FunKind::kGt:
+    case FunKind::kGe:
+    case FunKind::kNodeBefore:
+    case FunKind::kNodeAfter:
+    case FunKind::kNodeIs:
+    case FunKind::kAnd:
+    case FunKind::kOr:
+    case FunKind::kNot:
+    case FunKind::kContains:
+    case FunKind::kStartsWith:
+    case FunKind::kEndsWith:
+      return ItemKind::kBool;
+    case FunKind::kToString:
+    case FunKind::kConcat:
+    case FunKind::kUpperCase:
+    case FunKind::kLowerCase:
+    case FunKind::kNormalizeSpace:
+    case FunKind::kSubstring2:
+    case FunKind::kSubstring3:
+    case FunKind::kNodeName:
+      return ItemKind::kString;
+    case FunKind::kAtomize:
+      // Atomics pass through unchanged; nodes atomize to untypedAtomic,
+      // which lives in the string order class.
+      if (arg0 == ItemKind::kNode) return ItemKind::kString;
+      if (arg0 == ItemKind::kAny) return ItemKind::kAny;
+      return arg0;
+  }
+  return ItemKind::kAny;
+}
+
+}  // namespace
+
+SemType SemTypeAnalysis::Bottom(const Dag&, OpId) const { return {}; }
+
+bool SemTypeAnalysis::Join(SemType* into, const SemType& from) const {
+  bool changed = false;
+  for (const auto& [c, k] : from.kinds) {
+    auto it = into->kinds.find(c);
+    if (it == into->kinds.end()) {
+      into->kinds.emplace(c, k);
+      changed = true;
+    } else if (it->second != k) {
+      ItemKind widened = KindJoin(it->second, k);
+      if (widened != it->second) {
+        it->second = widened;
+        changed = true;
+      }
+    }
+  }
+  for (ColId c : from.unit_groups) {
+    changed |= into->unit_groups.insert(c).second;
+  }
+  return changed;
+}
+
+SemType SemTypeAnalysis::Transfer(const Dag& dag, OpId id,
+                                  const std::vector<const SemType*>& in) const {
+  const Op& op = dag.op(id);
+  auto child = [&](size_t i) -> const SemType& { return *in[i]; };
+  SemType out;
+  auto inherit = [&](const SemType& t) {
+    for (const auto& [c, k] : t.kinds) {
+      if (op.HasCol(c)) out.kinds.emplace(c, k);
+    }
+    for (ColId c : t.unit_groups) {
+      if (op.HasCol(c)) out.unit_groups.insert(c);
+    }
+  };
+  auto inherit_kinds = [&](const SemType& t) {
+    for (const auto& [c, k] : t.kinds) {
+      if (op.HasCol(c)) out.kinds.emplace(c, k);
+    }
+  };
+
+  switch (op.kind) {
+    case OpKind::kLit: {
+      for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+        if (op.lit.rows.empty()) continue;
+        ItemKind k = KindOfValue(op.lit.rows[0][i]);
+        for (size_t r = 1; r < op.lit.rows.size() && k != ItemKind::kAny;
+             ++r) {
+          k = KindJoin(k, KindOfValue(op.lit.rows[r][i]));
+        }
+        if (k != ItemKind::kAny) out.kinds.emplace(op.lit.cols[i], k);
+      }
+      break;
+    }
+    case OpKind::kProject: {
+      const SemType& t = child(0);
+      for (const auto& [n, o] : op.proj) {
+        ItemKind k = t.KindOf(o);
+        if (k != ItemKind::kAny) out.kinds.emplace(n, k);
+        if (t.unit_groups.count(o) != 0) out.unit_groups.insert(n);
+      }
+      break;
+    }
+    // Row subsets: both kinds and duplicate-freedom survive.
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+      inherit(child(0));
+      break;
+    case OpKind::kCardCheck:
+      inherit(child(0));
+      // The new source of unit groups: once the per-iteration assertion
+      // has passed, every iteration holds at most max_card rows — for
+      // fn:zero-or-one / fn:exactly-one that makes iter duplicate-free.
+      // (Relies on the compiler invariant that the checked relation's
+      // iterations all stem from the loop relation, child 1.)
+      if (op.max_card <= 1) out.unit_groups.insert(col::iter());
+      break;
+    case OpKind::kRowNum:
+      inherit(child(0));
+      out.kinds[op.col] = ItemKind::kInt;
+      if (op.part == kNoCol) out.unit_groups.insert(op.col);
+      break;
+    case OpKind::kRowId:
+      inherit(child(0));
+      out.kinds[op.col] = ItemKind::kInt;
+      out.unit_groups.insert(op.col);
+      break;
+    case OpKind::kFun: {
+      inherit(child(0));
+      out.unit_groups.erase(op.col);
+      ItemKind arg0 = op.args.empty() ? ItemKind::kAny
+                                      : child(0).KindOf(op.args[0]);
+      ItemKind k = KindOfFun(op.fun, arg0);
+      if (k != ItemKind::kAny) {
+        out.kinds[op.col] = k;
+      } else {
+        out.kinds.erase(op.col);
+      }
+      break;
+    }
+    case OpKind::kAggr: {
+      const SemType& t = child(0);
+      if (op.part != kNoCol) {
+        ItemKind pk = t.KindOf(op.part);
+        if (pk != ItemKind::kAny) out.kinds.emplace(op.part, pk);
+        out.unit_groups.insert(op.part);  // one row per group
+      }
+      ItemKind k = ItemKind::kAny;
+      switch (op.aggr) {
+        case AggrKind::kCount:
+          k = ItemKind::kInt;
+          break;
+        case AggrKind::kSum:
+        case AggrKind::kAvg:
+          k = ItemKind::kNumeric;
+          break;
+        case AggrKind::kMin:
+        case AggrKind::kMax: {
+          ItemKind ak = t.KindOf(op.col2);
+          if (ak != ItemKind::kNode) k = ak;  // nodes atomize first
+          break;
+        }
+        case AggrKind::kEbv:
+          k = ItemKind::kBool;
+          break;
+        case AggrKind::kStrJoin:
+          k = ItemKind::kString;
+          break;
+      }
+      if (k != ItemKind::kAny) out.kinds[op.col] = k;
+      break;
+    }
+    case OpKind::kStep: {
+      ItemKind ik = child(0).KindOf(col::iter());
+      if (ik != ItemKind::kAny) out.kinds.emplace(col::iter(), ik);
+      out.kinds[col::item()] = ItemKind::kNode;
+      break;
+    }
+    case OpKind::kRange: {
+      ItemKind ik = child(0).KindOf(col::iter());
+      if (ik != ItemKind::kAny) out.kinds.emplace(col::iter(), ik);
+      out.kinds[col::item()] = ItemKind::kInt;
+      break;
+    }
+    case OpKind::kDoc:
+      out.kinds[col::item()] = ItemKind::kNode;
+      break;
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode: {
+      ItemKind ik = child(1).KindOf(col::iter());
+      if (ik != ItemKind::kAny) out.kinds.emplace(col::iter(), ik);
+      out.kinds[col::item()] = ItemKind::kNode;
+      break;
+    }
+    case OpKind::kEquiJoin:
+    case OpKind::kCross: {
+      inherit_kinds(child(0));
+      inherit_kinds(child(1));
+      // A side's duplicate-free columns stay duplicate-free when the
+      // other side contributes at most one row (value-based conditions
+      // belong to the key domain; the two compose in the rewriter).
+      if (cards->Get(op.children[1]).max <= 1) {
+        for (ColId c : child(0).unit_groups) {
+          if (op.HasCol(c)) out.unit_groups.insert(c);
+        }
+      }
+      if (cards->Get(op.children[0]).max <= 1) {
+        for (ColId c : child(1).unit_groups) {
+          if (op.HasCol(c)) out.unit_groups.insert(c);
+        }
+      }
+      break;
+    }
+    case OpKind::kUnion: {
+      const SemType& a = child(0);
+      const SemType& b = child(1);
+      for (const auto& [c, k] : a.kinds) {
+        if (!op.HasCol(c)) continue;
+        ItemKind j = KindJoin(k, b.KindOf(c));
+        if (j != ItemKind::kAny) out.kinds.emplace(c, j);
+      }
+      if (cards->Get(op.children[0]).max == 0) {
+        for (const auto& [c, k] : b.kinds) {
+          if (op.HasCol(c)) out.kinds.emplace(c, k);
+        }
+        for (ColId c : b.unit_groups) {
+          if (op.HasCol(c)) out.unit_groups.insert(c);
+        }
+      } else if (cards->Get(op.children[1]).max == 0) {
+        for (ColId c : a.unit_groups) {
+          if (op.HasCol(c)) out.unit_groups.insert(c);
+        }
+      }
+      break;
+    }
+  }
+  // Every column of an at-most-one-row relation is trivially
+  // duplicate-free.
+  if (cards->Get(id).max <= 1) {
+    for (ColId c : op.schema) out.unit_groups.insert(c);
+  }
+  return out;
+}
+
+const SemType& SemTypeTracker::Get(OpId id) { return engine_.Get(id); }
+
+// ---------------------------------------------------------------------------
+// Order dependencies.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Caps keeping the fact sets small: at most this many facts per
+// operator, each with at most this many sort keys.
+constexpr size_t kMaxOrderFacts = 6;
+constexpr size_t kMaxOrderKeys = 4;
+
+// F logically implies G: rows sorted (and possibly duplicate-free) the
+// way F says are necessarily sorted the way G says.
+bool FactImplies(const OrderFact& f, const OrderFact& g) {
+  bool f_prefix_of_g =
+      f.keys.size() <= g.keys.size() &&
+      std::equal(f.keys.begin(), f.keys.end(), g.keys.begin());
+  // A fully strict prefix leaves no ties: any extension holds, strictly.
+  if (f_prefix_of_g && f.strict) return true;
+  bool g_prefix_of_f =
+      g.keys.size() <= f.keys.size() &&
+      std::equal(g.keys.begin(), g.keys.end(), f.keys.begin());
+  // Sorted by a longer list implies sorted by any prefix (non-strictly).
+  return g_prefix_of_f && !g.strict;
+}
+
+// Normalizes (dropping repeated columns, capping the key count) and
+// inserts `f` unless an existing fact already implies it; drops existing
+// facts the new one implies. Deterministic first-come eviction keeps the
+// set bounded.
+void AddOrderFact(std::vector<OrderFact>* facts, OrderFact f) {
+  std::vector<SortKey> keys;
+  for (const SortKey& k : f.keys) {
+    bool dup = false;
+    for (const SortKey& seen : keys) {
+      if (seen.col == k.col) {
+        dup = true;  // sorting again by an earlier key is a no-op
+        break;
+      }
+    }
+    if (!dup) keys.push_back(k);
+  }
+  if (keys.size() > kMaxOrderKeys) {
+    keys.resize(kMaxOrderKeys);
+    f.strict = false;  // strictness spoke about the full prefix
+  }
+  f.keys = std::move(keys);
+  if (f.keys.empty()) return;
+  for (const OrderFact& have : *facts) {
+    if (FactImplies(have, f)) return;
+  }
+  facts->erase(std::remove_if(facts->begin(), facts->end(),
+                              [&](const OrderFact& have) {
+                                return FactImplies(f, have);
+                              }),
+               facts->end());
+  if (facts->size() >= kMaxOrderFacts) return;
+  facts->push_back(std::move(f));
+}
+
+}  // namespace
+
+std::string OrderFact::ToString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i != 0) out += ",";
+    out += ColName(keys[i].col);
+    if (keys[i].descending) out += " desc";
+  }
+  out += ">";
+  if (strict) out += "!";
+  return out;
+}
+
+std::string OrderFacts::ToString() const {
+  std::string out;
+  for (const OrderFact& f : facts) {
+    if (!out.empty()) out += " ";
+    out += f.ToString();
+  }
+  return out;
+}
+
+bool OrderImplied(const std::vector<OrderFact>& facts, const ColSet& constants,
+                  const ColSet& keys, bool at_most_one,
+                  const std::vector<SortKey>& requested) {
+  if (at_most_one) return true;  // one row is sorted every way
+  // Criteria over constant columns tie on every row: skippable.
+  std::vector<SortKey> want;
+  for (const SortKey& k : requested) {
+    if (constants.count(k.col) == 0) want.push_back(k);
+  }
+  if (want.empty()) return true;
+  for (const OrderFact& f : facts) {
+    size_t qi = 0;
+    size_t fi = 0;
+    bool covered = false;
+    while (true) {
+      if (qi == want.size()) {
+        covered = true;
+        break;
+      }
+      // Constant fact keys tie on every row too; the remaining keys
+      // still describe the physical order exactly.
+      while (fi < f.keys.size() && constants.count(f.keys[fi].col) != 0) {
+        ++fi;
+      }
+      if (fi == f.keys.size()) {
+        // Fact exhausted with requested keys left: only a duplicate-free
+        // consumed prefix pins the remaining order (no ties to break).
+        covered = f.strict;
+        break;
+      }
+      if (f.keys[fi].col != want[qi].col ||
+          f.keys[fi].descending != want[qi].descending) {
+        break;
+      }
+      if (keys.count(want[qi].col) != 0) {
+        covered = true;  // duplicate-free key: later criteria never fire
+        break;
+      }
+      ++qi;
+      ++fi;
+    }
+    if (covered) return true;
+  }
+  return false;
+}
+
+OrderFacts OrderAnalysis::Bottom(const Dag&, OpId) const { return {}; }
+
+bool OrderAnalysis::Join(OrderFacts* into, const OrderFacts& from) const {
+  bool changed = false;
+  for (const OrderFact& f : from.facts) {
+    std::vector<OrderFact> before = into->facts;
+    AddOrderFact(&into->facts, f);
+    changed |= into->facts != before;
+  }
+  return changed;
+}
+
+OrderFacts OrderAnalysis::Transfer(
+    const Dag& dag, OpId id, const std::vector<const OrderFacts*>& in) const {
+  const Op& op = dag.op(id);
+  auto child = [&](size_t i) -> const OrderFacts& { return *in[i]; };
+  OrderFacts out;
+  auto add = [&](OrderFact f) { AddOrderFact(&out.facts, std::move(f)); };
+  // A child fact survives an op that keeps the surviving rows in their
+  // relative order; keys the op's schema no longer carries truncate the
+  // fact (losing strictness with them).
+  auto inherit = [&](const OrderFacts& f) {
+    for (const OrderFact& fact : f.facts) {
+      OrderFact g;
+      for (const SortKey& k : fact.keys) {
+        if (!op.HasCol(k.col)) break;
+        g.keys.push_back(k);
+      }
+      if (g.keys.empty()) continue;
+      g.strict = fact.strict && g.keys.size() == fact.keys.size();
+      add(std::move(g));
+    }
+  };
+
+  switch (op.kind) {
+    case OpKind::kLit: {
+      // Literal tables with statically sorted integer columns (value
+      // classes beyond xs:integer would need the engine's comparator).
+      for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+        bool ints = true;
+        bool asc = true;
+        bool desc = true;
+        bool strict_asc = true;
+        bool strict_desc = true;
+        for (size_t r = 0; r < op.lit.rows.size() && ints; ++r) {
+          if (op.lit.rows[r][i].kind != ValueKind::kInt) ints = false;
+        }
+        if (!ints) continue;
+        for (size_t r = 1; r < op.lit.rows.size(); ++r) {
+          int64_t a = op.lit.rows[r - 1][i].i;
+          int64_t b = op.lit.rows[r][i].i;
+          if (a > b) asc = strict_asc = false;
+          if (a < b) desc = strict_desc = false;
+          if (a == b) strict_asc = strict_desc = false;
+        }
+        if (asc) {
+          add({{{op.lit.cols[i], false}}, strict_asc});
+        } else if (desc) {
+          add({{{op.lit.cols[i], true}}, strict_desc});
+        }
+      }
+      break;
+    }
+    case OpKind::kProject: {
+      // Rename fact keys; a dropped key truncates the fact. A column
+      // projected under several names yields the first alias (caps keep
+      // the expansion linear).
+      for (const OrderFact& fact : child(0).facts) {
+        OrderFact g;
+        bool complete = true;
+        for (const SortKey& k : fact.keys) {
+          ColId renamed = kNoCol;
+          for (const auto& [n, o] : op.proj) {
+            if (o == k.col) {
+              renamed = n;
+              break;
+            }
+          }
+          if (renamed == kNoCol) {
+            complete = false;
+            break;
+          }
+          g.keys.push_back({renamed, k.descending});
+        }
+        if (g.keys.empty()) continue;
+        g.strict = fact.strict && complete;
+        add(std::move(g));
+      }
+      break;
+    }
+    // Row subsets preserve relative order; so do per-row extensions.
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+    case OpKind::kCardCheck:
+      inherit(child(0));
+      break;
+    case OpKind::kRowNum: {
+      inherit(child(0));
+      // % keeps the physical row order (ranks are written back into the
+      // input's row slots). When the requested order is one the input
+      // already realizes, the stable sort is the identity and the ranks
+      // are 1..n in physical order: a strictly ascending column.
+      OpId c = op.children[0];
+      bool part_skippable =
+          op.part == kNoCol ||
+          props->Get(c).constant.count(op.part) != 0;
+      if (part_skippable &&
+          OrderImplied(child(0).facts, props->Get(c).constant,
+                       keys->Get(c), cards->Get(c).max <= 1, op.order)) {
+        add({{{op.col, false}}, true});
+      }
+      break;
+    }
+    case OpKind::kRowId:
+      inherit(child(0));
+      // # assigns r+1 to physical row r: strictly ascending by
+      // construction, whether the ids are positional or arbitrary.
+      add({{{op.col, false}}, true});
+      break;
+    case OpKind::kFun: {
+      inherit(child(0));
+      // Monotone ⊕ maps transfer sortedness through the function: for a
+      // fact sorted by [..., arg, ...], the image column sorts the same
+      // way (order-isomorphic maps keep the tail and strictness; merely
+      // monotone ones truncate, since ties in the image hide order).
+      // All edges require a statically numeric argument: OrderCompare
+      // is type-class-major, so e.g. number("10") < number("9") while
+      // "10" < "9" — monotonicity only holds inside the numeric class.
+      if (op.args.size() == 1 &&
+          KindIsNumeric(sem->Get(op.children[0]).KindOf(op.args[0]))) {
+        enum class MapKind { kNone, kIso, kMono, kAnti };
+        MapKind map = MapKind::kNone;
+        switch (op.fun) {
+          case FunKind::kToDouble:
+            map = MapKind::kIso;  // numeric identity under OrderCompare
+            break;
+          case FunKind::kFloor:
+          case FunKind::kCeiling:
+          case FunKind::kRound:
+            map = MapKind::kMono;  // monotone, but collapses ties
+            break;
+          case FunKind::kNeg:
+            map = MapKind::kAnti;  // strictly antitone
+            break;
+          default:
+            break;
+        }
+        if (map != MapKind::kNone) {
+          ColId arg = op.args[0];
+          for (const OrderFact& fact : child(0).facts) {
+            for (size_t i = 0; i < fact.keys.size(); ++i) {
+              if (fact.keys[i].col != arg) continue;
+              OrderFact g = fact;
+              g.keys[i].col = op.col;
+              if (map == MapKind::kAnti) {
+                g.keys[i].descending = !g.keys[i].descending;
+              }
+              if (map == MapKind::kMono) {
+                g.keys.resize(i + 1);
+                g.strict = false;
+              }
+              add(std::move(g));
+            }
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kAggr:
+      if (op.part != kNoCol) {
+        // Groups are emitted in first-appearance order: an input sorted
+        // by the partition column lists each group contiguously, so the
+        // output (one row per group) is sorted — and duplicate-free —
+        // by it.
+        for (const OrderFact& fact : child(0).facts) {
+          if (!fact.keys.empty() && fact.keys[0].col == op.part) {
+            add({{fact.keys[0]}, true});
+          }
+        }
+      }
+      break;
+    case OpKind::kStep:
+      // Steps sort and de-duplicate their output globally by (iter,
+      // item) — the context-order/document-order contract (engine).
+      add({{{col::iter(), false}, {col::item(), false}}, true});
+      break;
+    case OpKind::kRange:
+      // Row-major expansion: each input row emits its items in
+      // ascending order.
+      for (const OrderFact& fact : child(0).facts) {
+        if (fact.keys[0].col != col::iter()) continue;
+        if (fact.keys.size() == 1 && fact.strict) {
+          add({{fact.keys[0], {col::item(), false}}, true});
+        } else {
+          add({{fact.keys[0]}, false});
+        }
+      }
+      break;
+    case OpKind::kCross: {
+      // Left-major: the output enumerates left rows in order, each
+      // paired with every right row in order.
+      uint64_t left_max = cards->Get(op.children[0]).max;
+      uint64_t right_max = cards->Get(op.children[1]).max;
+      for (const OrderFact& f : child(0).facts) {
+        add({f.keys, f.strict && right_max <= 1});
+        if (f.strict) {
+          // A strict left prefix makes the concatenation sorted: ties
+          // on the left keys happen only within one left row's block.
+          for (const OrderFact& g : child(1).facts) {
+            OrderFact cat;
+            cat.keys = f.keys;
+            cat.keys.insert(cat.keys.end(), g.keys.begin(), g.keys.end());
+            cat.strict = g.strict;
+            add(std::move(cat));
+          }
+        }
+      }
+      if (left_max <= 1) {
+        for (const OrderFact& g : child(1).facts) add(g);
+      }
+      break;
+    }
+    case OpKind::kEquiJoin: {
+      // The engine picks the build side at run time (the smaller input),
+      // so only a statically at-most-one-row far side guarantees the
+      // output is a subsequence of the near side: either the near side
+      // is the probe (order preserved), or it is smaller than a <=1-row
+      // relation, i.e. empty.
+      if (cards->Get(op.children[1]).max <= 1) {
+        for (const OrderFact& f : child(0).facts) add(f);
+      }
+      if (cards->Get(op.children[0]).max <= 1) {
+        for (const OrderFact& g : child(1).facts) add(g);
+      }
+      break;
+    }
+    case OpKind::kUnion:
+      // Append: facts survive only when one branch is statically empty
+      // (the boundary value is unknown otherwise).
+      if (cards->Get(op.children[0]).max == 0) {
+        inherit(child(1));
+      } else if (cards->Get(op.children[1]).max == 0) {
+        inherit(child(0));
+      }
+      break;
+    case OpKind::kDoc:
+      // Single row: OrderImplied's at-most-one case covers it.
+      break;
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode:
+      // Constructor output order is an engine detail we leave opaque.
+      break;
+  }
+  return out;
+}
+
+const OrderFacts& OrderTracker::Get(OpId id) { return engine_.Get(id); }
+
+bool OrderTracker::Covers(OpId id, const std::vector<SortKey>& requested) {
+  return OrderImplied(Get(id).facts, props_->Get(id).constant,
+                      keys_->Get(id), cards_->Get(id).max <= 1, requested);
+}
 
 // ---------------------------------------------------------------------------
 // Error capability.

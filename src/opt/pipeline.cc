@@ -23,6 +23,7 @@ constexpr NamedRewrite kNamedRewrites[] = {
     {"distinct_by_keys", &RewriteOptions::distinct_by_keys},
     {"empty_short_circuit", &RewriteOptions::empty_short_circuit},
     {"rownum_by_keys", &RewriteOptions::rownum_by_keys},
+    {"rownum_by_od", &RewriteOptions::rownum_by_od},
 };
 
 Status VerifyFailure(const Dag& dag, OpId bad_root,
@@ -76,7 +77,8 @@ Result<OpId> Optimize(Dag* dag, OpId root, const OptimizeOptions& options) {
   for (int pass = 0; pass < options.max_passes; ++pass) {
     bool changed = false;
     OpId before = current;
-    current = RewriteOnce(dag, current, options.rewrites, &changed);
+    current = RewriteOnce(dag, current, options.rewrites, &changed,
+                          options.trade_log);
     if (options.verify_each_pass) {
       Status diag = VerifyPlan(*dag, current);
       if (!diag.ok()) {

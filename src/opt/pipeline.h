@@ -25,6 +25,11 @@ struct OptimizeOptions {
   // all rewrites combined, so verification never changes the plan.
   bool verify_each_pass = false;
   const StrPool* strings = nullptr;  // for dot dumps in failure reports
+
+  // When non-null, every % the rewrite passes eliminated is appended
+  // with the rule that fired and its justification (rewrites.h), for
+  // Session::ExplainOrder / --explain-order.
+  std::vector<RewriteTrade>* trade_log = nullptr;
 };
 
 // Returns the new plan root (ops are appended to the same DAG; use

@@ -11,12 +11,16 @@ namespace {
 
 class Rewriter {
  public:
-  Rewriter(Dag* dag, const RewriteOptions& options)
+  Rewriter(Dag* dag, const RewriteOptions& options,
+           std::vector<RewriteTrade>* trades)
       : dag_(dag),
         options_(options),
+        trades_(trades),
         props_(dag),
         cards_(dag),
         keys_(dag, &cards_),
+        sem_(dag, &cards_),
+        od_(dag, &props_, &cards_, &keys_, &sem_),
         raise_(dag, &cards_) {}
 
   OpId Run(OpId root, bool* changed) {
@@ -41,6 +45,14 @@ class Rewriter {
   }
 
   const ColSet& Required(OpId old_id) { return icols_[old_id]; }
+
+  // Records a % elimination with its justification for --explain-order.
+  OpId Trade(OpId from, OpId to, const char* rule, std::string detail) {
+    if (trades_ != nullptr) {
+      trades_->push_back({from, to, rule, std::move(detail)});
+    }
+    return to;
+  }
 
   // Projects `id` onto exactly `cols` (sorted), collapsing identities.
   OpId NarrowTo(OpId id, const ColSet& cols) {
@@ -251,7 +263,25 @@ class Rewriter {
           // Every partition holds at most one row (the partition column
           // is a key, or the input is a single row): each row ranks 1
           // and the blocking sort vanishes.
-          return dag_->AttachConst(c, op.col, Value::Int(1));
+          return Trade(
+              id, dag_->AttachConst(c, op.col, Value::Int(1)),
+              "keyed-partition",
+              cards_.Get(c).max <= 1
+                  ? "the input has at most one row: every rank is 1"
+                  : "partition column '" + ColName(op.part) +
+                        "' is a key of the input: every partition holds "
+                        "one row and every rank is 1");
+        }
+        if (options_.rownum_by_od && op.part != kNoCol &&
+            sem_.Get(c).unit_groups.count(op.part) != 0) {
+          // Semantic typing proves the partition column duplicate-free
+          // (a unit group, e.g. below fn:exactly-one): singleton groups
+          // again, through a source the key domain cannot see.
+          return Trade(id, dag_->AttachConst(c, op.col, Value::Int(1)),
+                       "semantic-type",
+                       "partition column '" + ColName(op.part) +
+                           "' is duplicate-free by semantic typing (unit "
+                           "group): every rank is 1");
         }
         std::vector<SortKey> order = op.order;
         ColId part = op.part;
@@ -272,8 +302,29 @@ class Rewriter {
               order.empty() ||
               p.arbitrary.count(order.front().col) != 0;
           if (arbitrary_order && part == kNoCol) {
-            return dag_->RowId(c, op.col);
+            return Trade(id, dag_->RowId(c, op.col), "arbitrary-order",
+                         "the sort criteria are constant or descend from "
+                         "arbitrary # numbering: any stable numbering "
+                         "satisfies them");
           }
+        }
+        if (options_.rownum_by_od &&
+            (part == kNoCol ||
+             props_.Get(c).constant.count(part) != 0) &&
+            od_.Covers(c, order)) {
+          // The input provably already realizes the requested order: the
+          // stable sort is the identity permutation and the ranks are
+          // 1..n in physical row order — exactly what a positional #
+          // produces. The positional marking keeps the column out of the
+          // arbitrary-order domain (its values remain order-bearing).
+          return Trade(
+              id, dag_->RowId(c, op.col, /*positional=*/true),
+              "order-dependency",
+              "requested order " + OrderFact{order, false}.ToString() +
+                  " is already realized by the input (sorted " +
+                  od_.Get(c).ToString() +
+                  "): the sort is the identity and the ranks are the row "
+                  "positions");
         }
         return dag_->RowNum(c, op.col, std::move(order), part);
       }
@@ -283,7 +334,7 @@ class Rewriter {
         if (options_.column_pruning && required.count(op.col) == 0) {
           return c;
         }
-        return dag_->RowId(c, op.col);
+        return dag_->RowId(c, op.col, op.positional);
       }
 
       case OpKind::kFun: {
@@ -354,10 +405,13 @@ class Rewriter {
 
   Dag* dag_;
   const RewriteOptions& options_;
+  std::vector<RewriteTrade>* trades_;
   PropertyTracker props_;
   CardTracker cards_;
-  KeyTracker keys_;   // depends on cards_
-  RaiseTracker raise_;  // depends on cards_
+  KeyTracker keys_;      // depends on cards_
+  SemTypeTracker sem_;   // depends on cards_
+  OrderTracker od_;      // depends on props_, cards_, keys_, sem_
+  RaiseTracker raise_;   // depends on cards_
   std::unordered_map<OpId, ColSet> icols_;
   std::unordered_map<OpId, OpId> map_;
 };
@@ -365,8 +419,8 @@ class Rewriter {
 }  // namespace
 
 OpId RewriteOnce(Dag* dag, OpId root, const RewriteOptions& options,
-                 bool* changed) {
-  Rewriter rewriter(dag, options);
+                 bool* changed, std::vector<RewriteTrade>* trades) {
+  Rewriter rewriter(dag, options, trades);
   return rewriter.Run(root, changed);
 }
 

@@ -27,9 +27,18 @@
 //  * key-justified % collapse — a % whose partition column is a key of
 //    its input (or whose input has at most one row) ranks singleton
 //    groups; the rank is the constant 1 and the blocking sort vanishes
-//    without consuming the order demand.
+//    without consuming the order demand,
+//  * order-dependency % collapse — a % whose requested order the input
+//    provably already realizes (the order-dependency domain) performs an
+//    identity sort: it degrades to a positional # carrying the very same
+//    1..n values; and a % partitioned by a unit-group column (the
+//    semantic-type domain, e.g. below fn:exactly-one) ranks singleton
+//    groups and becomes the constant 1.
 #ifndef EXRQUY_OPT_REWRITES_H_
 #define EXRQUY_OPT_REWRITES_H_
+
+#include <string>
+#include <vector>
 
 #include "algebra/algebra.h"
 
@@ -44,12 +53,25 @@ struct RewriteOptions {
   bool distinct_by_keys = true;
   bool empty_short_circuit = true;
   bool rownum_by_keys = true;
+  // Order-dependency + semantic-type driven % elimination.
+  bool rownum_by_od = true;
+};
+
+// One % elimination the rewriter performed, with its justification —
+// the attribution --explain-order surfaces next to the surviving sorts.
+struct RewriteTrade {
+  OpId from = kNoOp;   // the original % operator
+  OpId to = kNoOp;     // its replacement (#, positional #, or constant)
+  std::string rule;    // the rewrite family that fired
+  std::string detail;  // human-readable justification
 };
 
 // One rewrite pass over the sub-DAG rooted at `root`; returns the new
 // root and sets *changed if the plan shrank or any operator changed.
+// When `trades` is non-null, every % the pass eliminated is appended
+// with the reason the elimination is sound.
 OpId RewriteOnce(Dag* dag, OpId root, const RewriteOptions& options,
-                 bool* changed);
+                 bool* changed, std::vector<RewriteTrade>* trades = nullptr);
 
 }  // namespace exrquy
 

@@ -420,6 +420,475 @@ uint64_t BoundMul(uint64_t a, uint64_t b) {
   return a * b;
 }
 
+// ---------------------------------------------------------------------------
+// Semantic kinds and sorted-prefix facts: independent re-derivations of
+// the two static-analysis domains behind the order-dependency and
+// semantic-type trades. Like the cardinality arithmetic above, these
+// deliberately re-implement the transfer rules (opt/analyses.cc) instead
+// of sharing code with them — the audits below are only worth running
+// against a second derivation.
+// ---------------------------------------------------------------------------
+
+ItemKind KindAt(const OpFacts& f, ColId c) {
+  auto it = f.kinds.find(c);
+  return it == f.kinds.end() ? ItemKind::kAny : it->second;
+}
+
+ItemKind LitValueKind(const Value& v) {
+  switch (v.kind) {
+    case ValueKind::kInt:
+      return ItemKind::kInt;
+    case ValueKind::kDouble:
+      return ItemKind::kNumeric;
+    case ValueKind::kString:
+    case ValueKind::kUntyped:  // untypedAtomic compares in the string class
+      return ItemKind::kString;
+    case ValueKind::kBool:
+      return ItemKind::kBool;
+    case ValueKind::kNode:
+      return ItemKind::kNode;
+  }
+  return ItemKind::kAny;
+}
+
+ItemKind FunResultKind(FunKind fun, ItemKind arg0) {
+  switch (fun) {
+    // Integer results.
+    case FunKind::kIDiv:
+    case FunKind::kStringLength:
+      return ItemKind::kInt;
+    // Numeric results (possibly fractional).
+    case FunKind::kAdd:
+    case FunKind::kSub:
+    case FunKind::kMul:
+    case FunKind::kDiv:
+    case FunKind::kMod:
+    case FunKind::kNeg:
+    case FunKind::kToDouble:
+    case FunKind::kAbs:
+    case FunKind::kFloor:
+    case FunKind::kCeiling:
+    case FunKind::kRound:
+      return ItemKind::kNumeric;
+    // Boolean results.
+    case FunKind::kEq:
+    case FunKind::kNe:
+    case FunKind::kLt:
+    case FunKind::kLe:
+    case FunKind::kGt:
+    case FunKind::kGe:
+    case FunKind::kNodeBefore:
+    case FunKind::kNodeAfter:
+    case FunKind::kNodeIs:
+    case FunKind::kAnd:
+    case FunKind::kOr:
+    case FunKind::kNot:
+    case FunKind::kContains:
+    case FunKind::kStartsWith:
+    case FunKind::kEndsWith:
+      return ItemKind::kBool;
+    // String results.
+    case FunKind::kToString:
+    case FunKind::kConcat:
+    case FunKind::kUpperCase:
+    case FunKind::kLowerCase:
+    case FunKind::kNormalizeSpace:
+    case FunKind::kSubstring2:
+    case FunKind::kSubstring3:
+    case FunKind::kNodeName:
+      return ItemKind::kString;
+    case FunKind::kAtomize:
+      // Atomics pass through; nodes atomize to untypedAtomic (string
+      // class).
+      if (arg0 == ItemKind::kNode) return ItemKind::kString;
+      return arg0;
+  }
+  return ItemKind::kAny;
+}
+
+void DeriveKinds(const Dag& dag, OpId id,
+                 const std::unordered_map<OpId, OpFacts>& facts,
+                 OpFacts* out) {
+  const Op& op = dag.op(id);
+  auto child = [&](size_t i) -> const OpFacts& {
+    return facts.at(op.children[i]);
+  };
+  auto put = [&](ColId c, ItemKind k) {
+    if (k != ItemKind::kAny) out->kinds[c] = k;
+  };
+  auto inherit = [&](const OpFacts& f) {
+    for (const auto& [c, k] : f.kinds) {
+      if (op.HasCol(c)) out->kinds.emplace(c, k);
+    }
+  };
+  switch (op.kind) {
+    case OpKind::kLit:
+      for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+        if (op.lit.rows.empty()) continue;
+        ItemKind k = LitValueKind(op.lit.rows[0][i]);
+        for (size_t r = 1; r < op.lit.rows.size(); ++r) {
+          k = KindJoin(k, LitValueKind(op.lit.rows[r][i]));
+        }
+        put(op.lit.cols[i], k);
+      }
+      break;
+    case OpKind::kProject:
+      for (const auto& [n, o] : op.proj) put(n, KindAt(child(0), o));
+      break;
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+    case OpKind::kCardCheck:
+      inherit(child(0));
+      break;
+    case OpKind::kRowNum:
+    case OpKind::kRowId:
+      inherit(child(0));
+      out->kinds[op.col] = ItemKind::kInt;
+      break;
+    case OpKind::kFun:
+      inherit(child(0));
+      out->kinds.erase(op.col);
+      put(op.col, FunResultKind(
+                      op.fun, op.args.empty() ? ItemKind::kAny
+                                              : KindAt(child(0), op.args[0])));
+      break;
+    case OpKind::kAggr: {
+      if (op.part != kNoCol) put(op.part, KindAt(child(0), op.part));
+      ItemKind k = ItemKind::kAny;
+      switch (op.aggr) {
+        case AggrKind::kCount:
+          k = ItemKind::kInt;
+          break;
+        case AggrKind::kSum:
+        case AggrKind::kAvg:
+          k = ItemKind::kNumeric;
+          break;
+        case AggrKind::kMin:
+        case AggrKind::kMax:
+          k = KindAt(child(0), op.col2);
+          if (k == ItemKind::kNode) k = ItemKind::kAny;  // atomizes first
+          break;
+        case AggrKind::kEbv:
+          k = ItemKind::kBool;
+          break;
+        case AggrKind::kStrJoin:
+          k = ItemKind::kString;
+          break;
+      }
+      put(op.col, k);
+      break;
+    }
+    case OpKind::kStep:
+      put(col::iter(), KindAt(child(0), col::iter()));
+      out->kinds[col::item()] = ItemKind::kNode;
+      break;
+    case OpKind::kRange:
+      put(col::iter(), KindAt(child(0), col::iter()));
+      out->kinds[col::item()] = ItemKind::kInt;
+      break;
+    case OpKind::kDoc:
+      out->kinds[col::item()] = ItemKind::kNode;
+      break;
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode:
+      put(col::iter(), KindAt(child(1), col::iter()));
+      out->kinds[col::item()] = ItemKind::kNode;
+      break;
+    case OpKind::kEquiJoin:
+    case OpKind::kCross:
+      inherit(child(0));
+      inherit(child(1));
+      break;
+    case OpKind::kUnion:
+      if (child(0).no_rows) {
+        inherit(child(1));
+      } else if (child(1).no_rows) {
+        inherit(child(0));
+      } else {
+        for (const auto& [c, k] : child(0).kinds) {
+          if (op.HasCol(c)) put(c, KindJoin(k, KindAt(child(1), c)));
+        }
+      }
+      break;
+  }
+}
+
+// The audit's fact caps are wider than the analysis's (6 facts of 4
+// keys): subsumption only ever replaces a fact with a stronger one, so a
+// wider derived set can never lose a claim the tracker retained.
+constexpr size_t kAuditMaxSortedFacts = 12;
+constexpr size_t kAuditMaxSortedKeys = 6;
+
+// F logically implies G (sorted F's way forces sorted G's way).
+bool SortedImplies(const OrderFact& f, const OrderFact& g) {
+  bool f_prefix =
+      f.keys.size() <= g.keys.size() &&
+      std::equal(f.keys.begin(), f.keys.end(), g.keys.begin());
+  if (f_prefix && f.strict) return true;  // no ties: any extension holds
+  bool g_prefix =
+      g.keys.size() <= f.keys.size() &&
+      std::equal(g.keys.begin(), g.keys.end(), f.keys.begin());
+  return g_prefix && !g.strict;  // longer sort implies its prefixes
+}
+
+void AddSorted(std::vector<OrderFact>* sorted, OrderFact f) {
+  std::vector<SortKey> keys;
+  for (const SortKey& k : f.keys) {
+    bool dup = false;
+    for (const SortKey& seen : keys) dup |= seen.col == k.col;
+    if (!dup) keys.push_back(k);
+  }
+  if (keys.size() > kAuditMaxSortedKeys) {
+    keys.resize(kAuditMaxSortedKeys);
+    f.strict = false;
+  }
+  f.keys = std::move(keys);
+  if (f.keys.empty()) return;
+  for (const OrderFact& have : *sorted) {
+    if (SortedImplies(have, f)) return;
+  }
+  sorted->erase(std::remove_if(sorted->begin(), sorted->end(),
+                               [&](const OrderFact& have) {
+                                 return SortedImplies(f, have);
+                               }),
+                sorted->end());
+  if (sorted->size() >= kAuditMaxSortedFacts) return;
+  sorted->push_back(std::move(f));
+}
+
+// Whether the derived facts force `requested` to be realized already
+// (the order-dependency trade's licensing condition).
+bool SortedCovers(const OpFacts& f, const std::vector<SortKey>& requested) {
+  if (f.at_most_one_row) return true;
+  std::vector<SortKey> want;
+  for (const SortKey& k : requested) {
+    if (f.constant.count(k.col) == 0) want.push_back(k);
+  }
+  if (want.empty()) return true;
+  for (const OrderFact& fact : f.sorted) {
+    size_t qi = 0;
+    size_t fi = 0;
+    bool covered = false;
+    while (true) {
+      if (qi == want.size()) {
+        covered = true;
+        break;
+      }
+      while (fi < fact.keys.size() &&
+             f.constant.count(fact.keys[fi].col) != 0) {
+        ++fi;
+      }
+      if (fi == fact.keys.size()) {
+        covered = fact.strict;
+        break;
+      }
+      if (fact.keys[fi].col != want[qi].col ||
+          fact.keys[fi].descending != want[qi].descending) {
+        break;
+      }
+      if (f.keys.count(want[qi].col) != 0) {
+        covered = true;  // duplicate-free: later criteria never fire
+        break;
+      }
+      ++qi;
+      ++fi;
+    }
+    if (covered) return true;
+  }
+  return false;
+}
+
+void DeriveSorted(const Dag& dag, OpId id,
+                  const std::unordered_map<OpId, OpFacts>& facts,
+                  OpFacts* out) {
+  const Op& op = dag.op(id);
+  auto child = [&](size_t i) -> const OpFacts& {
+    return facts.at(op.children[i]);
+  };
+  auto add = [&](OrderFact f) { AddSorted(&out->sorted, std::move(f)); };
+  // Order-preserving ops keep child facts, truncated at the first key
+  // the schema no longer carries (truncation loses strictness).
+  auto inherit = [&](const OpFacts& f) {
+    for (const OrderFact& fact : f.sorted) {
+      OrderFact g;
+      for (const SortKey& k : fact.keys) {
+        if (!op.HasCol(k.col)) break;
+        g.keys.push_back(k);
+      }
+      if (g.keys.empty()) continue;
+      g.strict = fact.strict && g.keys.size() == fact.keys.size();
+      add(std::move(g));
+    }
+  };
+  switch (op.kind) {
+    case OpKind::kLit:
+      for (size_t i = 0; i < op.lit.cols.size(); ++i) {
+        bool ints = true;
+        for (const auto& row : op.lit.rows) {
+          ints &= row[i].kind == ValueKind::kInt;
+        }
+        if (!ints) continue;
+        bool asc = true;
+        bool desc = true;
+        bool ties = false;
+        for (size_t r = 1; r < op.lit.rows.size(); ++r) {
+          int64_t a = op.lit.rows[r - 1][i].i;
+          int64_t b = op.lit.rows[r][i].i;
+          asc &= a <= b;
+          desc &= a >= b;
+          ties |= a == b;
+        }
+        if (asc) {
+          add({{{op.lit.cols[i], false}}, !ties});
+        } else if (desc) {
+          add({{{op.lit.cols[i], true}}, !ties});
+        }
+      }
+      break;
+    case OpKind::kProject:
+      for (const OrderFact& fact : child(0).sorted) {
+        OrderFact g;
+        bool complete = true;
+        for (const SortKey& k : fact.keys) {
+          ColId renamed = kNoCol;
+          for (const auto& [n, o] : op.proj) {
+            if (o == k.col) {
+              renamed = n;
+              break;
+            }
+          }
+          if (renamed == kNoCol) {
+            complete = false;
+            break;
+          }
+          g.keys.push_back({renamed, k.descending});
+        }
+        if (g.keys.empty()) continue;
+        g.strict = fact.strict && complete;
+        add(std::move(g));
+      }
+      break;
+    case OpKind::kSelect:
+    case OpKind::kDistinct:
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+    case OpKind::kCardCheck:
+      inherit(child(0));
+      break;
+    case OpKind::kRowNum:
+      inherit(child(0));
+      // Ranks are written back into the input's row slots; when the
+      // requested order is already realized the stable sort is the
+      // identity and the ranks are 1..n in physical order.
+      if ((op.part == kNoCol ||
+           child(0).constant.count(op.part) != 0) &&
+          SortedCovers(child(0), op.order)) {
+        add({{{op.col, false}}, true});
+      }
+      break;
+    case OpKind::kRowId:
+      inherit(child(0));
+      add({{{op.col, false}}, true});  // r+1 per physical row r
+      break;
+    case OpKind::kFun:
+      inherit(child(0));
+      // Monotone single-argument maps over statically numeric input
+      // (OrderCompare is type-class-major: monotonicity only holds
+      // inside the numeric class).
+      if (op.args.size() == 1 &&
+          KindIsNumeric(KindAt(child(0), op.args[0]))) {
+        bool iso = op.fun == FunKind::kToDouble;
+        bool mono = op.fun == FunKind::kFloor ||
+                    op.fun == FunKind::kCeiling || op.fun == FunKind::kRound;
+        bool anti = op.fun == FunKind::kNeg;
+        if (iso || mono || anti) {
+          for (const OrderFact& fact : child(0).sorted) {
+            for (size_t i = 0; i < fact.keys.size(); ++i) {
+              if (fact.keys[i].col != op.args[0]) continue;
+              OrderFact g = fact;
+              g.keys[i].col = op.col;
+              if (anti) g.keys[i].descending = !g.keys[i].descending;
+              if (mono) {
+                g.keys.resize(i + 1);  // ties in the image hide order
+                g.strict = false;
+              }
+              add(std::move(g));
+            }
+          }
+        }
+      }
+      break;
+    case OpKind::kAggr:
+      if (op.part != kNoCol) {
+        // Groups are emitted in first-appearance order.
+        for (const OrderFact& fact : child(0).sorted) {
+          if (!fact.keys.empty() && fact.keys[0].col == op.part) {
+            add({{fact.keys[0]}, true});
+          }
+        }
+      }
+      break;
+    case OpKind::kStep:
+      // The engine sorts and de-duplicates step output globally.
+      add({{{col::iter(), false}, {col::item(), false}}, true});
+      break;
+    case OpKind::kRange:
+      for (const OrderFact& fact : child(0).sorted) {
+        if (fact.keys[0].col != col::iter()) continue;
+        if (fact.keys.size() == 1 && fact.strict) {
+          add({{fact.keys[0], {col::item(), false}}, true});
+        } else {
+          add({{fact.keys[0]}, false});
+        }
+      }
+      break;
+    case OpKind::kCross:
+      // Left-major enumeration.
+      for (const OrderFact& f : child(0).sorted) {
+        add({f.keys, f.strict && child(1).max_rows <= 1});
+        if (f.strict) {
+          for (const OrderFact& g : child(1).sorted) {
+            OrderFact cat;
+            cat.keys = f.keys;
+            cat.keys.insert(cat.keys.end(), g.keys.begin(), g.keys.end());
+            cat.strict = g.strict;
+            add(std::move(cat));
+          }
+        }
+      }
+      if (child(0).max_rows <= 1) {
+        for (const OrderFact& g : child(1).sorted) add(g);
+      }
+      break;
+    case OpKind::kEquiJoin:
+      // Only a statically at-most-one-row far side guarantees the
+      // output is a subsequence of the near side (the engine picks the
+      // build side dynamically).
+      if (child(1).max_rows <= 1) {
+        for (const OrderFact& f : child(0).sorted) add(f);
+      }
+      if (child(0).max_rows <= 1) {
+        for (const OrderFact& g : child(1).sorted) add(g);
+      }
+      break;
+    case OpKind::kUnion:
+      if (child(0).no_rows) {
+        inherit(child(1));
+      } else if (child(1).no_rows) {
+        inherit(child(0));
+      }
+      break;
+    case OpKind::kDoc:
+    case OpKind::kElem:
+    case OpKind::kAttr:
+    case OpKind::kTextNode:
+      break;
+  }
+}
+
 OpFacts DeriveOpFacts(const Dag& dag, OpId id,
                       const std::unordered_map<OpId, OpFacts>& facts) {
   const Op& op = dag.op(id);
@@ -493,6 +962,10 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
       out.min_rows = f.min_rows;
       out.max_rows = f.max_rows;
       inherit(f, /*keep_keys=*/true);
+      // A passed per-iteration assertion of at most one row makes iter
+      // duplicate-free. (Relies on the compiler invariant that the
+      // checked relation's iterations all stem from the loop relation.)
+      if (op.max_card <= 1) out.keys.insert(col::iter());
       break;
     }
     case OpKind::kEquiJoin:
@@ -560,7 +1033,10 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
       out.max_rows = f.max_rows;
       inherit(f, /*keep_keys=*/true);
       out.keys.insert(op.col);
-      out.arbitrary.insert(op.col);  // # numbers in arbitrary order
+      // A plain # numbers rows in arbitrary order; a positional #
+      // (RowId^) numbers the physical row order, which carries the very
+      // order the order-dependency trade proved meaningful.
+      if (!op.positional) out.arbitrary.insert(op.col);
       break;
     }
     case OpKind::kFun: {
@@ -670,6 +1146,8 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
   out.at_most_one_row = out.max_rows <= 1;
   out.no_rows = out.max_rows == 0;
   if (out.at_most_one_row) SaturateSingleRow(op, &out);
+  DeriveKinds(dag, id, facts, &out);
+  DeriveSorted(dag, id, facts, &out);
   return out;
 }
 
@@ -856,6 +1334,71 @@ Status CheckCardClaim(const Dag& dag, OpId id, const CardRange& claimed,
   return Status::Ok();
 }
 
+Status CheckSemTypeClaims(const Dag& dag, OpId id, const SemType& claimed,
+                          const OpFacts& derived) {
+  const Op& op = dag.op(id);
+  for (const auto& [c, k] : claimed.kinds) {
+    if (!op.HasCol(c)) {
+      return Fail(dag, id, "semantic-type-claim",
+                  "kind claim for column '" + ColName(c) +
+                      "' which is not in the schema");
+    }
+    // A claim is sound only if it is at least as wide as (contains) the
+    // independently derivable kind.
+    if (!KindLe(KindAt(derived, c), k)) {
+      return Fail(dag, id, "semantic-type-claim",
+                  "kind claim '" + std::string(ItemKindName(k)) +
+                      "' for column '" + ColName(c) +
+                      "' is not independently derivable (derived '" +
+                      ItemKindName(KindAt(derived, c)) + "')");
+    }
+  }
+  // A unit-group column means groups of at most one row, i.e. the column
+  // is duplicate-free — auditable against the independently derived
+  // row-identifying columns.
+  for (ColId c : claimed.unit_groups) {
+    if (!op.HasCol(c)) {
+      return Fail(dag, id, "semantic-type-claim",
+                  "unit-group claim for column '" + ColName(c) +
+                      "' which is not in the schema");
+    }
+    if (derived.keys.count(c) == 0) {
+      return Fail(dag, id, "semantic-type-claim",
+                  "unit-group claim for column '" + ColName(c) +
+                      "' is not independently derivable as duplicate-free");
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckOrderClaims(const Dag& dag, OpId id, const OrderFacts& claimed,
+                        const OpFacts& derived) {
+  const Op& op = dag.op(id);
+  for (const OrderFact& f : claimed.facts) {
+    for (const SortKey& k : f.keys) {
+      if (!op.HasCol(k.col)) {
+        return Fail(dag, id, "order-dependency-claim",
+                    "sorted claim " + f.ToString() + " names column '" +
+                        ColName(k.col) + "' which is not in the schema");
+      }
+    }
+    if (derived.at_most_one_row) continue;  // one row is sorted every way
+    bool implied = false;
+    for (const OrderFact& g : derived.sorted) {
+      if (SortedImplies(g, f)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) {
+      return Fail(dag, id, "order-dependency-claim",
+                  "sorted claim " + f.ToString() +
+                      " is not implied by any independently derived fact");
+    }
+  }
+  return Status::Ok();
+}
+
 Status VerifyPlan(const Dag& dag, OpId root, const VerifyOptions& options) {
   std::vector<OpId> order;
   // Structure must hold before anything else may walk the DAG.
@@ -876,6 +1419,8 @@ Status VerifyPlan(const Dag& dag, OpId root, const VerifyOptions& options) {
     PropertyTracker tracker(&dag);
     CardTracker cards(&dag);
     KeyTracker keys(&dag, &cards);
+    SemTypeTracker sem(&dag, &cards);
+    OrderTracker od(&dag, &tracker, &cards, &keys, &sem);
     for (OpId id : order) {
       const ColProps& claimed = tracker.Get(id);
       OpFacts claim;
@@ -885,6 +1430,13 @@ Status VerifyPlan(const Dag& dag, OpId root, const VerifyOptions& options) {
       EXRQUY_RETURN_IF_ERROR(CheckClaims(dag, id, claim, facts.at(id)));
       EXRQUY_RETURN_IF_ERROR(
           CheckCardClaim(dag, id, cards.Get(id), facts.at(id)));
+      // The semantic-type and order-dependency domains (which license
+      // the %→const and %→# trades) are audited the same way, against
+      // the independent re-derivations in DeriveOpFacts.
+      EXRQUY_RETURN_IF_ERROR(
+          CheckSemTypeClaims(dag, id, sem.Get(id), facts.at(id)));
+      EXRQUY_RETURN_IF_ERROR(
+          CheckOrderClaims(dag, id, od.Get(id), facts.at(id)));
     }
     // The column dependency analysis must only ever demand columns the
     // operator produces — otherwise CDA pruning has deleted (or could

@@ -19,12 +19,18 @@
 //  (3) properties  — every fact the optimizer's dataflow analyses claim
 //                    (opt/analyses.h) is cross-checked against an
 //                    independently derived fact base (OpFacts: constants,
-//                    order-meaningless columns, keys, row-count bounds):
+//                    order-meaningless columns, keys, row-count bounds,
+//                    item kinds, sorted-prefix facts):
 //                    PropertyTracker's constant/arbitrary claims (which
 //                    license % weakening), KeyTracker's key claims (which
 //                    license Distinct elimination and keyed % collapse),
-//                    and CardTracker's intervals (which license the
-//                    empty-plan short-circuit) must all be derivable; the
+//                    CardTracker's intervals (which license the
+//                    empty-plan short-circuit), SemTypeTracker's kind and
+//                    unit-group claims (which license the semantic-type %
+//                    collapse and gate the monotone-map order rules), and
+//                    OrderTracker's sorted-prefix claims (which license
+//                    the order-dependency %→# trade) must all be
+//                    derivable; the
 //                    column dependency analysis never demands a column an
 //                    operator cannot produce (so CDA pruning can never
 //                    have deleted a live column) and must agree exactly
@@ -38,7 +44,9 @@
 #ifndef EXRQUY_OPT_VERIFY_H_
 #define EXRQUY_OPT_VERIFY_H_
 
+#include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "algebra/algebra.h"
 #include "common/status.h"
@@ -70,6 +78,13 @@ struct OpFacts {
   uint64_t max_rows = kUnboundedRows;
   bool at_most_one_row = false;
   bool no_rows = false;  // statically empty (e.g. a 0-row literal)
+  // Sound per-column item kinds (absent = no static knowledge, i.e.
+  // kAny): every value the column can hold belongs to the kind's
+  // OrderCompare class.
+  std::map<ColId, ItemKind> kinds;
+  // Sound sorted-prefix facts: the output rows are physically sorted
+  // (and, when strict, duplicate-free) the way each fact says.
+  std::vector<OrderFact> sorted;
 };
 
 // Bottom-up derivation of OpFacts for every operator reachable from
@@ -89,6 +104,21 @@ Status CheckClaims(const Dag& dag, OpId id, const OpFacts& claimed,
 // diagnostic.
 Status CheckCardClaim(const Dag& dag, OpId id, const CardRange& claimed,
                       const OpFacts& derived);
+
+// Checks the semantic-type domain's claims for `id`: every claimed kind
+// must be at least as wide as the independently derived one, and every
+// claimed unit-group column must be independently derivable as
+// duplicate-free. Returns the first violation as a
+// "[semantic-type-claim]" diagnostic.
+Status CheckSemTypeClaims(const Dag& dag, OpId id, const SemType& claimed,
+                          const OpFacts& derived);
+
+// Checks the order-dependency domain's claims for `id`: every claimed
+// sorted-prefix fact must be implied by an independently derived one (or
+// hold trivially on an at-most-one-row output). Returns the first
+// violation as an "[order-dependency-claim]" diagnostic.
+Status CheckOrderClaims(const Dag& dag, OpId id, const OrderFacts& claimed,
+                        const OpFacts& derived);
 
 // Verifies the sub-plan rooted at `root`. Cheap: one pass per enabled
 // analysis over the reachable sub-DAG, no allocation proportional to the

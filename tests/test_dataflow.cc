@@ -235,6 +235,7 @@ TEST_F(DataflowXMarkTest, GoldenPlansByteIdenticalToLegacy) {
       options.distinct_by_keys = false;
       options.empty_short_circuit = false;
       options.rownum_by_keys = false;
+      options.rownum_by_od = false;
       Result<QueryPlans> p = session_->Plan(q.text, options);
       ASSERT_TRUE(p.ok()) << q.name << ": " << p.status().ToString();
       std::string text =

@@ -114,7 +114,12 @@ TEST_F(OptimizerTest, WeakenDropsConstantCriteria) {
   OpId rn = dag_.RowNum(withc, rank, {{c, false}, {item(), false}}, kNoCol);
   OpId proj = dag_.Project(rn, {{iter(), iter()}, {pos(), rank},
                                 {item(), item()}});
-  OpId opt = Opt(proj);
+  // The literal's item column is statically sorted, so the
+  // order-dependency trade would eliminate the % outright; this test
+  // pins the weaken flag specifically.
+  RewriteOptions rewrites;
+  rewrites.rownum_by_od = false;
+  OpId opt = Opt(proj, rewrites);
   PlanStats stats = CollectPlanStats(dag_, opt);
   ASSERT_EQ(stats.rownum_ops, 1u);
   // Find the RowNum and check the constant criterion is gone.
@@ -168,9 +173,10 @@ TEST_F(OptimizerTest, WeakenDisabledKeepsRowNum) {
                                 {item(), item()}});
   RewriteOptions rewrites;
   rewrites.weaken_rownum = false;
-  // The single-row literal would trigger the keyed % collapse; this test
-  // pins the weaken flag specifically.
+  // The single-row literal would trigger the keyed % collapse and the
+  // order-dependency trade; this test pins the weaken flag specifically.
   rewrites.rownum_by_keys = false;
+  rewrites.rownum_by_od = false;
   OpId opt = Opt(proj, rewrites);
   EXPECT_EQ(CollectPlanStats(dag_, opt).rownum_ops, 1u);
 }

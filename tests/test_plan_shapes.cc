@@ -4,7 +4,11 @@
 // quantities; these tests pin them.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "algebra/stats.h"
+#include "api/opcounts.h"
 #include "api/session.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
@@ -149,6 +153,46 @@ TEST_F(PlanShapesTest, KeyFactsEliminateADistinctNothingElseCan) {
     EXPECT_LE(a.distinct_ops, b.distinct_ops) << q.name;
     EXPECT_LE(a.total_ops, b.total_ops) << q.name;
   }
+}
+
+// The committed Figure 6-style operator-count report must match a fresh
+// rendering byte for byte: any change to the rewriter's %-elimination
+// power (either direction) has to be re-committed deliberately via
+// tools/gen_opcounts.
+TEST_F(PlanShapesTest, OpCountReportMatchesGolden) {
+  Result<std::string> report = OpCountReport(session_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  std::string path =
+      std::string(EXRQUY_TEST_CORPUS_DIR) + "/opcounts/xmark_opcounts.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(*report, golden.str())
+      << "operator counts drifted from " << path
+      << " — regenerate with tools/gen_opcounts if deliberate";
+}
+
+// The corpus-wide count of surviving % in ordered mode must never creep
+// back above the committed level (the order-dependency and semantic-type
+// trades brought it from 100 down to 81). The byte-exact golden above
+// catches any drift; this guard names the quantity the paper cares
+// about and fails with a number, not a diff.
+TEST_F(PlanShapesTest, OrderedModeSurvivingSortsDoNotRegress) {
+  size_t surviving = 0;
+  for (const XMarkQuery& q : XMarkQueries()) {
+    surviving += Stats(q.text, QueryOptions{}, true).rownum_ops;
+  }
+  EXPECT_LE(surviving, 81u);
+  // And the order-dependency trade must be doing real corpus-wide work:
+  // turning it off leaves strictly more % behind.
+  size_t without = 0;
+  QueryOptions off;
+  off.rownum_by_od = false;
+  for (const XMarkQuery& q : XMarkQueries()) {
+    without += Stats(q.text, off, true).rownum_ops;
+  }
+  EXPECT_LT(surviving, without);
 }
 
 // Optimization is monotone across the whole XMark set: never more

@@ -1,0 +1,23 @@
+// Regenerates the committed XMark operator-count golden:
+//
+//   ./gen_opcounts > tests/corpus/opcounts/xmark_opcounts.txt
+//
+// The report (api/opcounts.h) is what tests/test_plan_shapes.cc compares
+// byte-for-byte, so a deliberate change to the rewriter's %-elimination
+// power is recorded by re-running this tool and committing the diff.
+#include <cstdio>
+
+#include "api/opcounts.h"
+#include "api/session.h"
+
+int main() {
+  exrquy::Session session;
+  exrquy::Result<std::string> report = exrquy::OpCountReport(&session);
+  if (!report.ok()) {
+    std::fprintf(stderr, "gen_opcounts: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(report->c_str(), stdout);
+  return 0;
+}
