@@ -84,6 +84,7 @@ std::unordered_map<OpId, ColSet> LegacyICols(const Dag& dag, OpId root,
         need(0, op.col);
         break;
       case OpKind::kEquiJoin:
+      case OpKind::kThetaJoin:
         need_set(0, r);
         need_set(1, r);
         need(0, op.col);
@@ -214,6 +215,7 @@ class LegacyProps {
         inherit(child(0));
         break;
       case OpKind::kEquiJoin:
+      case OpKind::kThetaJoin:
       case OpKind::kCross:
         inherit(child(0));
         inherit(child(1));

@@ -16,6 +16,8 @@ const char* OpKindName(OpKind kind) {
       return "Select";
     case OpKind::kEquiJoin:
       return "EquiJoin";
+    case OpKind::kThetaJoin:
+      return "ThetaJoin";
     case OpKind::kCross:
       return "Cross";
     case OpKind::kUnion:
@@ -189,6 +191,7 @@ uint64_t Dag::HashOp(const Op& op) const {
   HashMix(&h, op.part);
   for (ColId c : op.keys) HashMix(&h, c);
   HashMix(&h, op.positional ? 1 : 0);
+  HashMix(&h, op.value_join ? 1 : 0);
   HashMix(&h, static_cast<uint64_t>(op.fun));
   for (ColId c : op.args) HashMix(&h, c);
   HashMix(&h, static_cast<uint64_t>(op.aggr));
@@ -211,7 +214,8 @@ bool Dag::OpEquals(const Op& a, const Op& b) const {
   return a.kind == b.kind && a.children == b.children && a.proj == b.proj &&
          a.col == b.col && a.col2 == b.col2 && a.order == b.order &&
          a.part == b.part && a.keys == b.keys &&
-         a.positional == b.positional && a.fun == b.fun &&
+         a.positional == b.positional && a.value_join == b.value_join &&
+         a.fun == b.fun &&
          a.args == b.args && a.aggr == b.aggr && a.axis == b.axis &&
          a.test == b.test && a.name == b.name &&
          a.constructor_id == b.constructor_id && a.lit == b.lit;
@@ -241,7 +245,8 @@ std::vector<ColId> Dag::ComputeSchema(const Op& op) const {
     case OpKind::kSelect:
       require_col(0, op.col);
       return child_schema(0);
-    case OpKind::kEquiJoin: {
+    case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin: {
       require_col(0, op.col);
       require_col(1, op.col2);
       std::vector<ColId> out = child_schema(0);
@@ -393,6 +398,31 @@ OpId Dag::EquiJoin(OpId left, OpId right, ColId left_col, ColId right_col) {
   op.children = {left, right};
   op.col = left_col;
   op.col2 = right_col;
+  return Add(std::move(op));
+}
+
+OpId Dag::ValueJoin(OpId left, OpId right, ColId left_col, ColId right_col) {
+  Op op;
+  op.kind = OpKind::kEquiJoin;
+  op.children = {left, right};
+  op.col = left_col;
+  op.col2 = right_col;
+  op.value_join = true;
+  return Add(std::move(op));
+}
+
+OpId Dag::ThetaJoin(OpId left, OpId right, ColId left_col, FunKind cmp,
+                    ColId right_col) {
+  EXRQUY_CHECK(cmp == FunKind::kEq || cmp == FunKind::kNe ||
+               cmp == FunKind::kLt || cmp == FunKind::kLe ||
+               cmp == FunKind::kGt || cmp == FunKind::kGe);
+  Op op;
+  op.kind = OpKind::kThetaJoin;
+  op.children = {left, right};
+  op.col = left_col;
+  op.col2 = right_col;
+  op.fun = cmp;
+  op.value_join = true;
   return Add(std::move(op));
 }
 

@@ -47,6 +47,7 @@ enum class OpKind : uint8_t {
   kProject,
   kSelect,
   kEquiJoin,
+  kThetaJoin,  // join on an arbitrary value comparison (col θ col2)
   kCross,
   kUnion,
   kDifference,
@@ -157,8 +158,16 @@ struct Op {
   std::vector<std::pair<ColId, ColId>> proj;
   // kSelect: col. kRowNum/kRowId: result col. kFun/kAggr: result col.
   ColId col = kNoCol;
-  // kEquiJoin: left col / right col (col / col2). kAggr: argument (col2).
+  // kEquiJoin/kThetaJoin: left col / right col (col / col2). kAggr:
+  // argument (col2).
   ColId col2 = kNoCol;
+  // kEquiJoin only: `value_join` marks a join emitted by the join-
+  // recognition rewrite whose key columns carry *item values*, never
+  // iteration/order scaffolding (iter, pos, % results). The plan verifier
+  // audits the claim ([join-isolation-claim]); kThetaJoin carries the
+  // same obligation implicitly. Part of operator identity so a marked
+  // join never hash-cons-merges with an unmarked one.
+  bool value_join = false;
   // kRowNum: sort criteria. (Empty criteria = arbitrary order, which makes
   // the operator equivalent to # — see Section 7 of the paper.)
   std::vector<SortKey> order;
@@ -175,7 +184,8 @@ struct Op {
   // kCardCheck: per-iteration cardinality bounds.
   int64_t min_card = 0;
   int64_t max_card = 0;
-  // kFun: function and argument columns.
+  // kFun: function and argument columns. kThetaJoin: the comparison
+  // (kEq..kGe) applied as `col θ col2`.
   FunKind fun = FunKind::kAdd;
   std::vector<ColId> args;
   // kAggr:
@@ -230,6 +240,14 @@ class Dag {
   OpId Project(OpId child, std::vector<std::pair<ColId, ColId>> proj);
   OpId Select(OpId child, ColId col);
   OpId EquiJoin(OpId left, OpId right, ColId left_col, ColId right_col);
+  // EquiJoin carrying the verifier-audited value-join mark (see
+  // Op::value_join).
+  OpId ValueJoin(OpId left, OpId right, ColId left_col, ColId right_col);
+  // Join on `left.left_col cmp right.right_col` for a value comparison
+  // cmp in kEq..kGe; output schema is the concatenation, rows emitted in
+  // deterministic left-major order.
+  OpId ThetaJoin(OpId left, OpId right, ColId left_col, FunKind cmp,
+                 ColId right_col);
   OpId Cross(OpId left, OpId right);
   // Convenience: × with a one-row literal table [col = value] (the idiom
   // the paper writes as q × (pos 1), nearly free on table descriptors).

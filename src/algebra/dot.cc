@@ -63,6 +63,11 @@ std::string OpToString(const Dag& dag, OpId id, const StrPool& strings) {
       break;
     case OpKind::kEquiJoin:
       out << "Join " << ColName(op.col) << "=" << ColName(op.col2);
+      if (op.value_join) out << " (value)";
+      break;
+    case OpKind::kThetaJoin:
+      out << "ThetaJoin " << ColName(op.col) << " " << FunKindName(op.fun)
+          << " " << ColName(op.col2);
       break;
     case OpKind::kCross:
       out << "Cross";

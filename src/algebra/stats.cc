@@ -19,6 +19,12 @@ PlanStats CollectPlanStats(const Dag& dag, OpId root) {
       case OpKind::kStep:
         ++stats.step_ops;
         break;
+      case OpKind::kThetaJoin:
+        ++stats.theta_join_ops;
+        break;
+      case OpKind::kEquiJoin:
+        if (op.value_join) ++stats.value_join_ops;
+        break;
       case OpKind::kDistinct:
         ++stats.distinct_ops;
         break;

@@ -12,8 +12,10 @@ Result<std::string> OpCountReport(Session* session) {
   std::ostringstream out;
   out << "XMark per-query operator counts (initial -> optimized plan)\n"
       << "%  = RowNum (blocking sort)   # = RowId (free numbering)\n"
-      << "#^ = positional RowId (ids proven row positions)\n\n"
-      << "query  mode       initial  final    %    #   #^\n";
+      << "#^ = positional RowId (ids proven row positions)\n"
+      << "vj = equi-joins on recognized value predicates"
+      << "   tj = ThetaJoin\n\n"
+      << "query  mode       initial  final    %    #   #^   vj   tj\n";
   size_t surviving_ordered = 0;
   size_t surviving_unordered = 0;
   for (const XMarkQuery& q : XMarkQueries()) {
@@ -31,7 +33,9 @@ Result<std::string> OpCountReport(Session* session) {
           << std::setw(9) << initial.total_ops << std::setw(7)
           << optimized.total_ops << std::setw(5) << optimized.rownum_ops
           << std::setw(5) << optimized.rowid_ops << std::setw(5)
-          << optimized.positional_rowid_ops << "\n";
+          << optimized.positional_rowid_ops << std::setw(5)
+          << optimized.value_join_ops << std::setw(5)
+          << optimized.theta_join_ops << "\n";
     }
   }
   out << "\nsurviving %: ordered " << surviving_ordered << ", unordered "

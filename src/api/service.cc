@@ -56,7 +56,8 @@ std::string CacheKey(std::string_view query, const QueryOptions& o,
                  o.enable_order_indifference, o.insert_unordered,
                  o.mode_rules, o.column_pruning, o.weaken_rownum,
                  o.distinct_elimination, o.step_merging, o.distinct_by_keys,
-                 o.empty_short_circuit, o.rownum_by_keys,
+                 o.empty_short_circuit, o.rownum_by_keys, o.rownum_by_od,
+                 o.join_recognition, o.theta_join,
                  o.physical_sort_detection}) {
     bits = (bits << 1) | (b ? 1 : 0);
   }

@@ -90,6 +90,8 @@ Result<QueryPlans> PlanQuery(std::string_view query,
   oopts.rewrites.empty_short_circuit = options.empty_short_circuit;
   oopts.rewrites.rownum_by_keys = options.rownum_by_keys;
   oopts.rewrites.rownum_by_od = options.rownum_by_od;
+  oopts.rewrites.join_recognition = options.join_recognition;
+  oopts.rewrites.theta_join = options.theta_join;
   oopts.verify_each_pass = options.verify_each_pass;
   oopts.strings = strings;
   oopts.trade_log = &plans.trades;

@@ -51,6 +51,8 @@ struct QueryOptions {
   bool empty_short_circuit = true;   // statically empty sub-plans collapse
   bool rownum_by_keys = true;        // keyed partitions make % rank 1
   bool rownum_by_od = true;          // order-dependency/semantic-type trades
+  bool join_recognition = true;      // product-space predicates become joins
+  bool theta_join = true;            // non-equality predicates -> ThetaJoin
 
   // Re-verifies the plan after every optimizer pass (opt/verify.h) and
   // names the first offending rewrite on failure. Every compiled and

@@ -138,6 +138,7 @@ class Evaluator {
   Result<TablePtr> EvalProject(const Op& op, const Table& in);
   Result<TablePtr> EvalSelect(const Op& op, const Table& in);
   Result<TablePtr> EvalEquiJoin(const Op& op, const Table& l, const Table& r);
+  Result<TablePtr> EvalThetaJoin(const Op& op, const Table& l, const Table& r);
   Result<TablePtr> EvalCross(const Op& op, const Table& l, const Table& r);
   Result<TablePtr> EvalUnion(const Op& op, const Table& l, const Table& r);
   Result<TablePtr> EvalDiffSemi(const Op& op, const Table& l, const Table& r);

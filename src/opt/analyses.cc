@@ -60,6 +60,7 @@ struct LivenessAnalysis {
         need(0, op.col);
         break;
       case OpKind::kEquiJoin:
+      case OpKind::kThetaJoin:
         need_set(0, r);
         need_set(1, r);
         need(0, op.col);
@@ -217,6 +218,7 @@ ColProps ConstArbAnalysis::Transfer(
       inherit(child(0));
       break;
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
     case OpKind::kCross:
       inherit(child(0));
       inherit(child(1));
@@ -358,6 +360,7 @@ CardRange CardAnalysis::Transfer(
       out.max = child(0).max;
       break;
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
       out.min = 0;
       out.max = SatMul(child(0).max, child(1).max);
       break;
@@ -458,9 +461,13 @@ ColSet KeyAnalysis::Transfer(const Dag& dag, OpId id,
       inherit(child(0));
       break;
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
     case OpKind::kCross: {
       // A side's keys survive when each of its rows appears at most
       // once: the other side contributes at most one match per row.
+      // (A ThetaJoin row can match several distinct far-side values
+      // even when those are duplicate-free, so only the <=1-row case
+      // applies there, as for ×.)
       bool left_once;
       bool right_once;
       if (op.kind == OpKind::kEquiJoin) {
@@ -822,6 +829,7 @@ SemType SemTypeAnalysis::Transfer(const Dag& dag, OpId id,
       break;
     }
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
     case OpKind::kCross: {
       inherit_kinds(child(0));
       inherit_kinds(child(1));
@@ -1226,12 +1234,15 @@ OrderFacts OrderAnalysis::Transfer(
       }
       break;
     }
-    case OpKind::kEquiJoin: {
-      // The engine picks the build side at run time (the smaller input),
-      // so only a statically at-most-one-row far side guarantees the
-      // output is a subsequence of the near side: either the near side
-      // is the probe (order preserved), or it is smaller than a <=1-row
-      // relation, i.e. empty.
+    case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin: {
+      // The engine picks the equi-join build side at run time (the
+      // smaller input), so only a statically at-most-one-row far side
+      // guarantees the output is a subsequence of the near side: either
+      // the near side is the probe (order preserved), or it is smaller
+      // than a <=1-row relation, i.e. empty. ThetaJoin probes the left
+      // side but may emit per-probe matches in build-value order, so the
+      // same conservative rule applies.
       if (cards->Get(op.children[1]).max <= 1) {
         for (const OrderFact& f : child(0).facts) add(f);
       }
@@ -1302,6 +1313,11 @@ bool RaiseAnalysis::Transfer(const Dag& dag, OpId id,
       // function as error-capable is conservative but only ever blocks
       // a rewrite.
       return cards->Get(op.children[0]).max > 0;
+    case OpKind::kThetaJoin:
+      // The comparison raises on incomparable pairs — only when pairs
+      // can exist at all.
+      return cards->Get(op.children[0]).max > 0 &&
+             cards->Get(op.children[1]).max > 0;
     case OpKind::kAggr:
       switch (op.aggr) {
         case AggrKind::kSum:
@@ -1342,6 +1358,7 @@ std::string ReasonLabel(const Dag& dag, OpId consumer,
       what = "row filter";
       break;
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
       what = "join condition";
       break;
     case OpKind::kDifference:
@@ -1459,6 +1476,7 @@ struct ProvenanceAnalysis {
         need(0, op.col);
         break;
       case OpKind::kEquiJoin:
+      case OpKind::kThetaJoin:
         pass(0, r);
         pass(1, r);
         need(0, op.col);

@@ -24,6 +24,8 @@ constexpr NamedRewrite kNamedRewrites[] = {
     {"empty_short_circuit", &RewriteOptions::empty_short_circuit},
     {"rownum_by_keys", &RewriteOptions::rownum_by_keys},
     {"rownum_by_od", &RewriteOptions::rownum_by_od},
+    {"join_recognition", &RewriteOptions::join_recognition},
+    {"theta_join", &RewriteOptions::theta_join},
 };
 
 Status VerifyFailure(const Dag& dag, OpId bad_root,

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "opt/analyses.h"
+#include "opt/join_plan.h"
 
 namespace exrquy {
 namespace {
@@ -26,6 +27,9 @@ class Rewriter {
   OpId Run(OpId root, bool* changed) {
     icols_ = ComputeICols(*dag_, root,
                           {col::iter(), col::pos(), col::item()});
+    if (options_.join_recognition) {
+      join_specs_ = RecognizeJoins(*dag_, root);
+    }
     *changed = false;
     for (OpId id : dag_->ReachableFrom(root)) {
       OpId new_id = RewriteOp(id);
@@ -153,6 +157,17 @@ class Rewriter {
         return id;
 
       case OpKind::kProject: {
+        // A recognized value-join anchor: replace the whole EBV-over-
+        // product-space region with a join on the compared item values.
+        if (auto jit = join_specs_.find(id); jit != join_specs_.end()) {
+          std::string detail;
+          OpId repl = EmitJoin(dag_, jit->second,
+                               map_.at(jit->second.outer_items), options_,
+                               &sem_, &cards_, &detail);
+          if (repl != kNoOp) {
+            return Trade(id, repl, "join_recognition", std::move(detail));
+          }
+        }
         std::vector<std::pair<ColId, ColId>> proj;
         for (const auto& [n, o] : op.proj) {
           if (!options_.column_pruning || required.count(n) != 0) {
@@ -169,7 +184,15 @@ class Rewriter {
         return dag_->Select(Child(op, 0), op.col);
 
       case OpKind::kEquiJoin:
+        if (op.value_join) {
+          return dag_->ValueJoin(Child(op, 0), Child(op, 1), op.col,
+                                 op.col2);
+        }
         return dag_->EquiJoin(Child(op, 0), Child(op, 1), op.col, op.col2);
+
+      case OpKind::kThetaJoin:
+        return dag_->ThetaJoin(Child(op, 0), Child(op, 1), op.col, op.fun,
+                               op.col2);
 
       case OpKind::kCross: {
         OpId l = Child(op, 0);
@@ -414,6 +437,7 @@ class Rewriter {
   RaiseTracker raise_;   // depends on cards_
   std::unordered_map<OpId, ColSet> icols_;
   std::unordered_map<OpId, OpId> map_;
+  std::map<OpId, JoinSpec> join_specs_;
 };
 
 }  // namespace

@@ -55,6 +55,13 @@ struct RewriteOptions {
   bool rownum_by_keys = true;
   // Order-dependency + semantic-type driven % elimination.
   bool rownum_by_od = true;
+  // Value-join recognition: comparisons evaluated over loop-lifted
+  // product spaces are re-rooted as joins on the compared item columns,
+  // keeping iteration/order scaffolding out of the join predicates.
+  bool join_recognition = true;
+  // Allow non-equality comparisons to become ThetaJoin operators; when
+  // off, only hash-joinable equality predicates are recognized.
+  bool theta_join = true;
 };
 
 // One % elimination the rewriter performed, with its justification —

@@ -39,6 +39,7 @@ size_t ExpectedChildren(OpKind kind) {
     case OpKind::kRange:
       return 1;
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
     case OpKind::kCross:
     case OpKind::kUnion:
     case OpKind::kDifference:
@@ -254,6 +255,15 @@ class SchemaChecker {
         EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.col, "selection"));
         *out = Child(op, 0).schema;
         return Status::Ok();
+      case OpKind::kThetaJoin:
+        if (op.fun != FunKind::kEq && op.fun != FunKind::kNe &&
+            op.fun != FunKind::kLt && op.fun != FunKind::kLe &&
+            op.fun != FunKind::kGt && op.fun != FunKind::kGe) {
+          return Fail(dag_, id_, "theta-comparison",
+                      std::string("'") + FunKindName(op.fun) +
+                          "' is not a value comparison");
+        }
+        [[fallthrough]];
       case OpKind::kEquiJoin:
         EXRQUY_RETURN_IF_ERROR(Ref(op, 0, op.col, "left join"));
         EXRQUY_RETURN_IF_ERROR(Ref(op, 1, op.col2, "right join"));
@@ -598,6 +608,7 @@ void DeriveKinds(const Dag& dag, OpId id,
       out->kinds[col::item()] = ItemKind::kNode;
       break;
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
     case OpKind::kCross:
       inherit(child(0));
       inherit(child(1));
@@ -864,9 +875,11 @@ void DeriveSorted(const Dag& dag, OpId id,
       }
       break;
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
       // Only a statically at-most-one-row far side guarantees the
       // output is a subsequence of the near side (the engine picks the
-      // build side dynamically).
+      // equi-join build side dynamically; the theta kernel may emit
+      // per-probe matches in build-value order).
       if (child(1).max_rows <= 1) {
         for (const OrderFact& f : child(0).sorted) add(f);
       }
@@ -969,6 +982,7 @@ OpFacts DeriveOpFacts(const Dag& dag, OpId id,
       break;
     }
     case OpKind::kEquiJoin:
+    case OpKind::kThetaJoin:
     case OpKind::kCross: {
       const OpFacts& l = child(0);
       const OpFacts& r = child(1);
@@ -1193,6 +1207,7 @@ std::unordered_map<OpId, ColSet> DeriveLiveColumns(const Dag& dag, OpId root,
         need(0, op.col);
         break;
       case OpKind::kEquiJoin:
+      case OpKind::kThetaJoin:
         need_set(0, r);
         need_set(1, r);
         need(0, op.col);
@@ -1265,6 +1280,96 @@ std::unordered_map<OpId, ColSet> DeriveLiveColumns(const Dag& dag, OpId root,
     }
   }
   return icols;
+}
+
+// ---------------------------------------------------------------------------
+// Join-graph isolation: which columns carry iteration/order scaffolding
+// (loop-lifting iter/pos columns, % and # results) rather than item
+// values. Re-derived forward from the column sources, independently of
+// the join-recognition rewrite whose claims it audits. Deliberately
+// over-approximated — a column touched by any scaffolding source counts
+// as scaffolding, so over-approximation can only reject a plan, never
+// admit a bad one.
+// ---------------------------------------------------------------------------
+
+std::unordered_map<OpId, ColSet> DeriveScaffolding(
+    const Dag& dag, const std::vector<OpId>& order) {
+  std::unordered_map<OpId, ColSet> scaff;
+  for (OpId id : order) {
+    const Op& op = dag.op(id);
+    ColSet out;
+    auto from = [&](size_t i) -> const ColSet& {
+      return scaff.at(op.children[i]);
+    };
+    auto inherit = [&](const ColSet& s) {
+      for (ColId c : op.schema) {
+        if (s.count(c) != 0) out.insert(c);
+      }
+    };
+    switch (op.kind) {
+      case OpKind::kLit:
+        // Literal loop relations seed the iteration columns.
+        for (ColId c : op.lit.cols) {
+          if (c == col::iter() || c == col::pos()) out.insert(c);
+        }
+        break;
+      case OpKind::kDoc:
+        break;  // a document node is an item value
+      case OpKind::kProject:
+        for (const auto& [n, o] : op.proj) {
+          if (from(0).count(o) != 0) out.insert(n);
+        }
+        break;
+      case OpKind::kSelect:
+      case OpKind::kDistinct:
+      case OpKind::kDifference:
+      case OpKind::kSemiJoin:
+      case OpKind::kCardCheck:
+        inherit(from(0));
+        break;
+      case OpKind::kEquiJoin:
+      case OpKind::kThetaJoin:
+      case OpKind::kCross:
+      case OpKind::kUnion:
+        inherit(from(0));
+        inherit(from(1));
+        break;
+      case OpKind::kRowNum:
+      case OpKind::kRowId:
+        // The produced numbering is the scaffolding the paper's %-trading
+        // machinery manages.
+        inherit(from(0));
+        out.insert(op.col);
+        break;
+      case OpKind::kFun:
+        inherit(from(0));
+        out.erase(op.col);
+        for (ColId a : op.args) {
+          if (from(0).count(a) != 0) out.insert(op.col);
+        }
+        break;
+      case OpKind::kAggr:
+        // The aggregate result is a value; the group column keeps its
+        // nature.
+        if (op.part != kNoCol && from(0).count(op.part) != 0) {
+          out.insert(op.part);
+        }
+        break;
+      case OpKind::kStep:
+      case OpKind::kRange:
+        // Output items are document nodes / range values; iter descends
+        // from the context.
+        if (from(0).count(col::iter()) != 0) out.insert(col::iter());
+        break;
+      case OpKind::kElem:
+      case OpKind::kAttr:
+      case OpKind::kTextNode:
+        if (from(1).count(col::iter()) != 0) out.insert(col::iter());
+        break;
+    }
+    scaff.emplace(id, std::move(out));
+  }
+  return scaff;
 }
 
 std::string ColSetToString(const ColSet& cols) {
@@ -1437,6 +1542,44 @@ Status VerifyPlan(const Dag& dag, OpId root, const VerifyOptions& options) {
           CheckSemTypeClaims(dag, id, sem.Get(id), facts.at(id)));
       EXRQUY_RETURN_IF_ERROR(
           CheckOrderClaims(dag, id, od.Get(id), facts.at(id)));
+    }
+    // Join-graph isolation: a recognized value join (ThetaJoin, or an
+    // EquiJoin carrying the value-join mark) must keep the iteration/
+    // order scaffolding out of its predicate — its key columns must
+    // carry item values. Hash-equality joins must additionally sit in a
+    // kind class where exact value equality coincides with the `eq`
+    // comparison (int/int, string-class/string-class, bool/bool);
+    // anything wider would need the pairwise-Compare ThetaJoin kernel.
+    std::unordered_map<OpId, ColSet> scaff = DeriveScaffolding(dag, order);
+    for (OpId id : order) {
+      const Op& op = dag.op(id);
+      bool theta = op.kind == OpKind::kThetaJoin;
+      bool value_equi = op.kind == OpKind::kEquiJoin && op.value_join;
+      if (!theta && !value_equi) continue;
+      if (scaff.at(op.children[0]).count(op.col) != 0) {
+        return Fail(dag, id, "join-isolation-claim",
+                    "join predicate touches scaffolding column '" +
+                        ColName(op.col) + "'");
+      }
+      if (scaff.at(op.children[1]).count(op.col2) != 0) {
+        return Fail(dag, id, "join-isolation-claim",
+                    "join predicate touches scaffolding column '" +
+                        ColName(op.col2) + "'");
+      }
+      if (value_equi) {
+        ItemKind lk = KindAt(facts.at(op.children[0]), op.col);
+        ItemKind rk = KindAt(facts.at(op.children[1]), op.col2);
+        bool safe = lk == rk && (lk == ItemKind::kInt ||
+                                 lk == ItemKind::kString ||
+                                 lk == ItemKind::kBool);
+        if (!safe) {
+          return Fail(dag, id, "join-isolation-claim",
+                      "hash equality over kinds '" +
+                          std::string(ItemKindName(lk)) + "'/'" +
+                          ItemKindName(rk) +
+                          "' does not coincide with the eq comparison");
+        }
+      }
     }
     // The column dependency analysis must only ever demand columns the
     // operator produces — otherwise CDA pruning has deleted (or could

@@ -1,0 +1,60 @@
+// Per-operator profile of one XMark query over a generated document:
+//
+//   ./profile_query Q9 [scale]
+//
+// Executes the query twice (warm plan is irrelevant here — a plain
+// Session re-plans, but compile time is reported separately) and prints
+// the operator metrics sorted by kernel wall time, plus the by-kind
+// rollup. The quickest way to see which operator a slow query actually
+// spends its time in.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "api/session.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: profile_query <Qname> [scale]\n");
+    return 2;
+  }
+  double scale = argc > 2 ? std::atof(argv[2]) : 0.016;
+  exrquy::Session session;
+  exrquy::XMarkOptions xmark;
+  xmark.scale = scale;
+  if (!session.LoadDocument("auction.xml", exrquy::GenerateXMark(xmark))
+           .ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  exrquy::QueryOptions options;
+  options.profile = true;
+  exrquy::Result<exrquy::QueryResult> r =
+      session.Execute(exrquy::XMarkQueryText(argv[1]), options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s at scale %.3f: compile %.2f ms, execute %.2f ms\n\n",
+              argv[1], scale, r->compile_ms, r->execute_ms);
+  std::vector<exrquy::Profile::OpMetrics> ops = r->profile.ops();
+  std::sort(ops.begin(), ops.end(),
+            [](const auto& a, const auto& b) { return a.ms > b.ms; });
+  std::printf("%5s  %-12s %8s %10s %10s  %s\n", "op", "kind", "ms",
+              "in_rows", "out_rows", "prov");
+  for (size_t i = 0; i < ops.size() && i < 25; ++i) {
+    const auto& m = ops[i];
+    std::printf("%5d  %-12s %8.3f %10zu %10zu  %.50s\n",
+                static_cast<int>(m.op), m.kind.c_str(), m.ms, m.in_rows,
+                m.out_rows, m.prov.c_str());
+  }
+  std::printf("\nby kind:\n");
+  for (const auto& [kind, b] : r->profile.by_kind()) {
+    std::printf("  %-12s %8.3f ms  %6zu ops  %10zu rows\n", kind.c_str(),
+                b.ms, b.ops, b.out_rows);
+  }
+  return 0;
+}
