@@ -18,12 +18,18 @@
 //                     EXRQUY_RESULT_CACHE_BYTES configure the caches.
 //     --repeat R      rounds per client thread in --serve-batch mode
 //                     (default 8)
+//     --queue-depth N     bound the admission queue at N waiters; extra
+//                         requests are shed with Unavailable (serve-batch)
+//     --queue-timeout-ms N  shed a queued request after waiting N ms
+//     --retries N     retry transient resource exhaustion up to N times
+//                     in degraded (serial, cache-bypassing) mode
 //
 // Example:
 //   xq -d t.xml=fragment.xml -e 'count(doc("t.xml")//c)'
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -43,7 +49,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: xq [-d name=path]... [--baseline|--unordered] "
                "[--plan|--sql|--explain-order] [--profile] "
-               "[--serve-batch N [--repeat R]] "
+               "[--serve-batch N [--repeat R] [--queue-depth N] "
+               "[--queue-timeout-ms N] [--retries N]] "
                "(-e <expr> | query.xq | -)\n");
   return 2;
 }
@@ -69,11 +76,20 @@ std::vector<std::string> SplitMix(const std::string& text) {
   return mix;
 }
 
+struct ServeKnobs {
+  int64_t queue_depth = -1;       // -1: environment / unbounded
+  int64_t queue_timeout_ms = -1;  // -1: environment / no timeout
+  int max_retries = -1;           // -1: environment / default (1)
+};
+
 int ServeBatch(const std::vector<std::pair<std::string, std::string>>& docs,
                const std::string& input, const exrquy::QueryOptions& options,
-               size_t threads, size_t repeat) {
+               size_t threads, size_t repeat, const ServeKnobs& knobs) {
   exrquy::ServiceConfig config;
   config.workers = threads;  // caches come from the environment knobs
+  config.max_queue_depth = knobs.queue_depth;
+  config.queue_timeout_ms = knobs.queue_timeout_ms;
+  config.max_retries = knobs.max_retries;
   exrquy::QueryService service(config);
   for (const auto& [name, path] : docs) {
     std::ifstream in(path, std::ios::binary);
@@ -109,6 +125,7 @@ int ServeBatch(const std::vector<std::pair<std::string, std::string>>& docs,
 
   std::atomic<size_t> mismatches{0};
   std::atomic<size_t> failures{0};
+  std::atomic<size_t> sheds{0};
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   for (size_t t = 0; t < threads; ++t) {
@@ -120,7 +137,13 @@ int ServeBatch(const std::vector<std::pair<std::string, std::string>>& docs,
           exrquy::Result<exrquy::ServiceResult> r =
               service.Execute(mix[qi], options);
           if (!r.ok()) {
-            failures.fetch_add(1, std::memory_order_relaxed);
+            // A shed (bounded queue full or queue timeout) is the
+            // resilience layer doing its job, not a correctness failure.
+            if (r.status().code() == exrquy::StatusCode::kUnavailable) {
+              sheds.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
           } else if (r->result.serialized != expected[qi]) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
@@ -150,6 +173,36 @@ int ServeBatch(const std::vector<std::pair<std::string, std::string>>& docs,
                static_cast<unsigned long long>(c.result_cache.misses),
                static_cast<unsigned long long>(c.result_cache.evictions),
                c.result_cache.bytes);
+  std::fprintf(stderr,
+               "  admission    %llu admitted / %llu queued / "
+               "%llu+%llu+%llu shed (full/timeout/deadline), "
+               "peak queue %llu\n",
+               static_cast<unsigned long long>(c.admission.admitted),
+               static_cast<unsigned long long>(c.admission.queued),
+               static_cast<unsigned long long>(c.admission.shed_queue_full),
+               static_cast<unsigned long long>(c.admission.shed_queue_timeout),
+               static_cast<unsigned long long>(c.admission.shed_deadline),
+               static_cast<unsigned long long>(c.admission.peak_queue_depth));
+  std::fprintf(stderr,
+               "  resilience   %llu retries / %llu degraded runs / "
+               "%llu pressure events\n",
+               static_cast<unsigned long long>(c.retries),
+               static_cast<unsigned long long>(c.degraded_runs),
+               static_cast<unsigned long long>(c.pressure_events));
+  std::fprintf(stderr,
+               "  quarantine   %llu shed / %llu trips / %llu probes / "
+               "%llu recoveries (%llu open)\n",
+               static_cast<unsigned long long>(c.quarantine.shed),
+               static_cast<unsigned long long>(c.quarantine.trips),
+               static_cast<unsigned long long>(c.quarantine.probes),
+               static_cast<unsigned long long>(c.quarantine.recoveries),
+               static_cast<unsigned long long>(c.quarantine.open));
+  std::fprintf(stderr, "  latency      p50 %.0f us / p99 %.0f us\n",
+               c.latency_us.PercentileUs(50), c.latency_us.PercentileUs(99));
+  if (sheds.load() != 0) {
+    std::fprintf(stderr, "  (%zu requests shed by admission control)\n",
+                 sheds.load());
+  }
   if (mismatches.load() != 0 || failures.load() != 0) {
     std::fprintf(stderr, "xq: %zu mismatches, %zu failures\n",
                  mismatches.load(), failures.load());
@@ -170,6 +223,7 @@ int main(int argc, char** argv) {
   bool want_explain_order = false;
   size_t serve_threads = 0;
   size_t serve_repeat = 8;
+  ServeKnobs knobs;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -184,6 +238,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--repeat" && i + 1 < argc) {
       serve_repeat = static_cast<size_t>(std::atoi(argv[++i]));
       if (serve_repeat == 0) return Usage();
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      knobs.queue_depth = std::atoll(argv[++i]);
+      if (knobs.queue_depth < 0) return Usage();
+    } else if (arg == "--queue-timeout-ms" && i + 1 < argc) {
+      knobs.queue_timeout_ms = std::atoll(argv[++i]);
+      if (knobs.queue_timeout_ms < 0) return Usage();
+    } else if (arg == "--retries" && i + 1 < argc) {
+      knobs.max_retries = std::atoi(argv[++i]);
+      if (knobs.max_retries < 0) return Usage();
     } else if (arg == "-e" && i + 1 < argc) {
       query = argv[++i];
       have_query = true;
@@ -223,7 +286,8 @@ int main(int argc, char** argv) {
 
   if (serve_threads > 0) {
     if (want_plan || want_sql || want_explain_order) return Usage();
-    return ServeBatch(docs, query, options, serve_threads, serve_repeat);
+    return ServeBatch(docs, query, options, serve_threads, serve_repeat,
+                      knobs);
   }
 
   exrquy::Session session;

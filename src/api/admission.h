@@ -1,0 +1,231 @@
+// Admission control and overload resilience for the query service
+// (api/service.h). Three cooperating pieces, all layered *around* the
+// engine rather than into it:
+//
+//  * AdmissionController — bounded admission over the worker slots. An
+//    Execute call that finds every slot busy waits in a bounded queue;
+//    the queue sheds load with kUnavailable instead of blocking forever,
+//    on three triggers: the queue is already at max_queue_depth (shed
+//    immediately, < 1 ms), the caller waited queue_timeout_ms without a
+//    slot freeing (shed with kUnavailable), or the request's own
+//    deadline expired while queued (shed with kDeadlineExceeded — the
+//    queue wait is charged against the deadline, so a query never starts
+//    an execution it cannot finish).
+//
+//  * QuarantineList — a circuit breaker keyed by the service's plan-cache
+//    key. A query that repeatedly exhausts its deadline or memory budget
+//    is a *poison query*: each arrival occupies a worker slot until the
+//    governor trips, so under load a single pathological query text can
+//    starve the whole service. After `failure_threshold` consecutive
+//    resource failures the key opens: arrivals fast-fail kUnavailable
+//    without touching a worker. After `cooldown_ms` the breaker goes
+//    half-open and admits exactly one probe; a clean probe closes the
+//    breaker, a failed probe re-opens it with doubled (capped) cooldown.
+//    Fault-injected runs never count: injection tests must see their
+//    planned outcome, not the breaker's.
+//
+//  * LatencyHistogram — fixed power-of-two microsecond buckets for
+//    queue-wait and end-to-end latency, cheap enough to record on every
+//    call (one relaxed atomic increment) and rich enough for the p50/p99
+//    numbers the overload bench and the --serve-batch report print.
+//
+// Everything here is engine-agnostic: the controller hands out abstract
+// slot indices and the quarantine stores opaque keys, so both are unit-
+// testable without a document or a plan.
+#ifndef EXRQUY_API_ADMISSION_H_
+#define EXRQUY_API_ADMISSION_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace exrquy {
+
+// ---------------------------------------------------------------------
+// Latency histograms.
+
+// Value-type snapshot: bucket i counts samples in [2^(i-1), 2^i) µs
+// (bucket 0: < 1 µs). 28 buckets cover up to ~2.2 minutes.
+struct LatencyHistogram {
+  static constexpr size_t kBuckets = 28;
+
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+
+  // Upper bound (in µs) of the bucket containing the p-th percentile
+  // (0 < p <= 100) of recorded samples; 0 when empty.
+  double PercentileUs(double p) const;
+};
+
+// Concurrent recorder; Snapshot() produces the value type above.
+class AtomicLatencyHistogram {
+ public:
+  void Record(double us);
+  LatencyHistogram Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, LatencyHistogram::kBuckets> buckets_{};
+};
+
+// ---------------------------------------------------------------------
+// Bounded admission.
+
+// Point-in-time admission observability.
+struct AdmissionStats {
+  uint64_t admitted = 0;            // got a slot (queued or not)
+  uint64_t queued = 0;              // waited at all before admission/shed
+  uint64_t shed_queue_full = 0;     // kUnavailable: queue at max depth
+  uint64_t shed_queue_timeout = 0;  // kUnavailable: queue_timeout_ms hit
+  uint64_t shed_deadline = 0;       // kDeadlineExceeded while/after queueing
+  size_t queue_depth = 0;           // current waiters
+  size_t peak_queue_depth = 0;
+  LatencyHistogram queue_wait_us;   // admitted requests' queue wait
+};
+
+// Hands out `slots` abstract worker slots with a bounded wait queue.
+// Thread-safe. Slots are the service's worker indices; the controller
+// never touches the workers themselves.
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Config {
+    size_t slots = 1;
+    // Max requests waiting for a slot at once; one more arrival is shed
+    // immediately. SIZE_MAX = unbounded (block until a slot frees, the
+    // pre-admission-control behavior); 0 = never queue.
+    size_t max_queue_depth = SIZE_MAX;
+    // Longest a request may wait queued before being shed. 0 = no
+    // timeout (the request's own deadline, if any, still applies).
+    int64_t queue_timeout_ms = 0;
+  };
+
+  struct Ticket {
+    size_t slot = 0;
+    double queue_ms = 0;  // time spent waiting for the slot
+  };
+
+  explicit AdmissionController(Config config);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Acquires a slot, waiting in the bounded queue if none is free.
+  // `deadline` (optional) is the request's absolute deadline: expiring
+  // while queued — or being already expired on admission — sheds with
+  // kDeadlineExceeded, so queue wait is fully charged against it.
+  Result<Ticket> Admit(std::optional<Clock::time_point> deadline);
+
+  void Release(size_t slot);
+
+  AdmissionStats stats() const;
+  size_t slot_count() const { return config_.slots; }
+
+ private:
+  const Config config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<size_t> free_;
+  size_t waiters_ = 0;
+  size_t peak_waiters_ = 0;
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> queued_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_queue_timeout_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  AtomicLatencyHistogram queue_wait_us_;
+};
+
+// ---------------------------------------------------------------------
+// Poison-query quarantine.
+
+struct QuarantineStats {
+  uint64_t shed = 0;        // arrivals fast-failed while open
+  uint64_t trips = 0;       // closed/half-open -> open transitions
+  uint64_t probes = 0;      // half-open probes admitted
+  uint64_t recoveries = 0;  // probes that closed the breaker
+  size_t tracked = 0;       // keys currently tracked
+  size_t open = 0;          // keys currently open (or probing)
+};
+
+// Circuit breaker over opaque query keys. Thread-safe; all transitions
+// happen under one mutex (the map is touched once per Execute, far off
+// the evaluation hot path).
+class QuarantineList {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Config {
+    // Consecutive resource failures (deadline/budget) before the key
+    // opens. 0 disables quarantining entirely.
+    uint32_t failure_threshold = 3;
+    int64_t cooldown_ms = 250;       // open -> half-open delay
+    int64_t max_cooldown_ms = 30000; // cap for the doubling backoff
+    size_t max_entries = 1024;       // fail-open beyond this many keys
+  };
+
+  enum class Decision {
+    kAdmit,  // not quarantined (or quarantining disabled)
+    kProbe,  // half-open: this caller is the one probe; MUST report back
+             // via Record(..., was_probe=true) or ProbeAborted()
+    kShed,   // open: fast-fail kUnavailable
+  };
+
+  explicit QuarantineList(Config config) : config_(config) {}
+
+  QuarantineList(const QuarantineList&) = delete;
+  QuarantineList& operator=(const QuarantineList&) = delete;
+
+  Decision Admit(const std::string& key);
+
+  // Reports the outcome of an admitted (or probing) execution.
+  // `resource_failure` = the run exhausted its deadline or budget (the
+  // poison signal); anything else — success, a fast type error, a
+  // cancellation — counts as evidence the query is not poison.
+  void Record(const std::string& key, bool resource_failure, bool was_probe);
+
+  // The probe never ran (e.g. shed by the admission queue): re-open the
+  // breaker with an immediate re-probe opportunity instead of leaving
+  // the half-open state permanently occupied.
+  void ProbeAborted(const std::string& key);
+
+  void Clear();
+
+  QuarantineStats stats() const;
+
+ private:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Entry {
+    State state = State::kClosed;
+    uint32_t failures = 0;        // consecutive resource failures
+    uint32_t trips = 0;           // times this key opened (backoff exponent)
+    Clock::time_point open_until{};
+  };
+
+  const Config config_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> trips_{0};
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> recoveries_{0};
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_API_ADMISSION_H_

@@ -1,5 +1,6 @@
 #include "api/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +29,18 @@ uint64_t EnvU64(const char* name) {
   return end == v ? 0 : static_cast<uint64_t>(n);
 }
 
+// Presence-sensitive variant for knobs where "unset" and "=0" mean
+// different things (e.g. queue depth: unset = unbounded, 0 = never
+// queue).
+bool EnvU64Present(const char* name, uint64_t* value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(v, &end, 10);
+  *value = end == v ? 0 : static_cast<uint64_t>(n);
+  return true;
+}
+
 bool EnvPlanCacheEnabled() {
   const char* v = std::getenv("EXRQUY_PLAN_CACHE");
   if (v == nullptr || *v == '\0') return true;  // default on
@@ -45,10 +58,33 @@ size_t ResolveResultCacheBytes(int64_t requested) {
   return static_cast<size_t>(EnvU64("EXRQUY_RESULT_CACHE_BYTES"));
 }
 
+size_t ResolveMaxQueueDepth(int64_t requested) {
+  if (requested >= 0) return static_cast<size_t>(requested);
+  uint64_t v = 0;
+  if (!EnvU64Present("EXRQUY_MAX_QUEUE_DEPTH", &v)) return SIZE_MAX;
+  return static_cast<size_t>(v);
+}
+
+int64_t ResolveQueueTimeoutMs(int64_t requested) {
+  if (requested >= 0) return requested;
+  uint64_t v = 0;
+  if (!EnvU64Present("EXRQUY_QUEUE_TIMEOUT_MS", &v)) return 0;
+  return static_cast<int64_t>(v);
+}
+
+int ResolveMaxRetries(int requested) {
+  if (requested >= 0) return requested;
+  uint64_t v = 0;
+  if (!EnvU64Present("EXRQUY_MAX_RETRIES", &v)) return 1;
+  return static_cast<int>(std::min<uint64_t>(v, 16));
+}
+
 // Cache key: query text, then the plan-affecting option bits, then the
 // store version. Execution knobs (threads, chunking, governor) are
 // deliberately absent — the engine guarantees byte-identical results
-// across all of them, which is what makes cached bytes reusable.
+// across all of them, which is what makes cached bytes reusable. The
+// same key strings the poison-query quarantine: two calls that would
+// share a plan share a breaker.
 std::string CacheKey(std::string_view query, const QueryOptions& o,
                      uint64_t version) {
   uint64_t bits = 0;
@@ -84,16 +120,26 @@ size_t PlanBytes(const Dag& dag) {
 QueryService::QueryService(ServiceConfig config)
     : plan_cache_enabled_(config.plan_cache < 0 ? EnvPlanCacheEnabled()
                                                 : config.plan_cache != 0),
+      max_retries_(ResolveMaxRetries(config.max_retries)),
+      memory_high_water_(config.memory_high_water),
+      degraded_window_ms_(config.degraded_window_ms),
       base_store_(&strings_),
       cache_accountant_(0),
       plan_cache_(0),
       result_cache_(ResolveResultCacheBytes(config.result_cache_bytes),
-                    &cache_accountant_) {
-  size_t n = ResolveWorkers(config.workers);
+                    &cache_accountant_),
+      admission_(AdmissionController::Config{
+          ResolveWorkers(config.workers),
+          ResolveMaxQueueDepth(config.max_queue_depth),
+          ResolveQueueTimeoutMs(config.queue_timeout_ms)}),
+      quarantine_(QuarantineList::Config{
+          config.quarantine_failures,
+          std::max<int64_t>(config.quarantine_cooldown_ms, 1),
+          /*max_cooldown_ms=*/30000, /*max_entries=*/1024}) {
+  size_t n = admission_.slot_count();
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.push_back(std::make_unique<Worker>(&strings_));
-    free_workers_.push_back(n - 1 - i);  // pop_back hands out slot 0 first
   }
 }
 
@@ -109,9 +155,11 @@ Status QueryService::LoadDocument(std::string_view name,
   version_.fetch_add(1, std::memory_order_acq_rel);
   // Stale keys could never hit again (the version is part of every key);
   // clearing reclaims their bytes immediately instead of waiting for
-  // LRU pressure.
+  // LRU pressure. Quarantine verdicts are snapshot-scoped too: a query
+  // that was poison against the old documents may be cheap now.
   plan_cache_.Clear();
   result_cache_.Clear();
+  quarantine_.Clear();
   return Status::Ok();
 }
 
@@ -123,28 +171,140 @@ void QueryService::CloneWorkersLocked() {
   }
 }
 
-size_t QueryService::AcquireWorker() {
-  std::unique_lock<std::mutex> lock(workers_mu_);
-  workers_cv_.wait(lock, [this] { return !free_workers_.empty(); });
-  size_t idx = free_workers_.back();
-  free_workers_.pop_back();
-  return idx;
+bool QueryService::WorkersPristine() const {
+  std::shared_lock<std::shared_mutex> snapshot(snapshot_mu_);
+  for (const std::unique_ptr<Worker>& w : workers_) {
+    if (w->store.node_count() != w->base_nodes ||
+        w->store.fragment_count() != w->base_fragments) {
+      return false;
+    }
+  }
+  return true;
 }
 
-void QueryService::ReleaseWorker(size_t idx) {
-  {
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    free_workers_.push_back(idx);
+bool QueryService::DegradedNow() const {
+  int64_t until = degraded_until_ns_.load(std::memory_order_relaxed);
+  return until != 0 && Clock::now().time_since_epoch().count() < until;
+}
+
+void QueryService::EnterDegradedWindow() {
+  if (degraded_window_ms_ <= 0) return;
+  int64_t until =
+      (Clock::now() + std::chrono::milliseconds(degraded_window_ms_))
+          .time_since_epoch()
+          .count();
+  // Monotonic max: concurrent pressure events only ever extend the
+  // window.
+  int64_t cur = degraded_until_ns_.load(std::memory_order_relaxed);
+  while (cur < until && !degraded_until_ns_.compare_exchange_weak(
+                            cur, until, std::memory_order_relaxed)) {
   }
-  workers_cv_.notify_one();
+}
+
+Status QueryService::RunAttempt(const CachedPlan& plan,
+                                const QueryOptions& options, Worker& worker,
+                                int64_t deadline_ms, size_t budget_limit,
+                                const FaultPlan& faults,
+                                Clock::time_point arrival, bool degraded,
+                                bool* high_water, ServiceResult* out) {
+  // Fresh governor state per attempt: the budget's exhausted latch and
+  // the injector's counters must not leak across retries.
+  MemoryBudget budget(budget_limit);
+  if (faults.fail_alloc != 0) budget.FailChargeAt(faults.fail_alloc);
+  FaultInjector injector(faults);
+  bool account =
+      budget_limit != 0 || faults.fail_alloc != 0 || options.profile;
+  if (account) worker.store.set_budget(&budget);
+
+  EvalContext ctx;
+  ctx.store = &worker.store;
+  ctx.strings = &strings_;
+  ctx.documents = documents_;
+  ctx.detect_sorted_inputs = options.physical_sort_detection;
+  ctx.num_threads = degraded ? 1 : options.num_threads;
+  ctx.chunk_rows = options.chunk_rows;
+  ctx.release_intermediates = options.release_intermediates;
+  if (options.profile) ctx.profile = &out->result.profile;
+  ctx.cancel = options.cancel.get();
+  if (deadline_ms > 0) {
+    // Anchored at arrival, not at admission: time spent queued or in
+    // earlier attempts is already gone from this request's budget.
+    ctx.has_deadline = true;
+    ctx.deadline = arrival + std::chrono::milliseconds(deadline_ms);
+  }
+  if (account) ctx.budget = &budget;
+  if (faults.any()) ctx.faults = &injector;
+
+  Clock::time_point t1 = Clock::now();
+  Status failed = Status::Ok();
+  {
+    Evaluator evaluator(*plan.dag, &ctx);
+    Result<TablePtr> table = evaluator.Eval(plan.optimized);
+    if (options.profile) {
+      out->result.profile.SetBudget(budget.limit(), budget.charged(),
+                                    budget.peak());
+    }
+    if (!table.ok()) {
+      failed = table.status();
+    } else {
+      out->result.execute_ms = MsSince(t1);
+      out->result.sorts_skipped = ctx.sorts_skipped;
+      Result<std::string> serialized = SerializeResult(**table, ctx);
+      Result<std::vector<std::string>> items = ResultItems(**table, ctx);
+      if (!serialized.ok()) {
+        failed = serialized.status();
+      } else if (!items.ok()) {
+        failed = items.status();
+      } else {
+        out->result.serialized = std::move(serialized).value();
+        out->result.items = std::move(items).value();
+      }
+    }
+  }
+  // Constructed fragments never outlive the attempt (results hold plain
+  // strings); the shared pool keeps query-interned strings by design.
+  worker.store.set_budget(nullptr);
+  worker.store.TruncateTo(worker.base_nodes, worker.base_fragments);
+  *high_water = budget.PeakAboveFraction(memory_high_water_);
+  return failed;
 }
 
 Result<ServiceResult> QueryService::Execute(std::string_view query,
                                             const QueryOptions& options) {
+  Clock::time_point arrival = Clock::now();
+  auto done = [&] {
+    executions_.fetch_add(1, std::memory_order_relaxed);
+    latency_us_.Record(MsSince(arrival) * 1000.0);
+  };
+
+  // Resolve the governed-execution knobs before taking any lock or
+  // slot: a malformed EXRQUY_FAULT_* must fail fast, and the absolute
+  // deadline below anchors queue-wait accounting at arrival.
+  int64_t deadline_ms =
+      options.deadline_ms > 0
+          ? options.deadline_ms
+          : static_cast<int64_t>(EnvU64("EXRQUY_DEADLINE_MS"));
+  size_t budget_limit =
+      options.memory_budget > 0
+          ? options.memory_budget
+          : static_cast<size_t>(EnvU64("EXRQUY_MEM_BUDGET"));
+  FaultPlan faults = options.faults;
+  if (!faults.any()) {
+    Result<FaultPlan> from_env = FaultPlan::FromEnv();
+    if (!from_env.ok()) {
+      done();
+      return from_env.status();
+    }
+    faults = from_env.value();
+  }
+  std::optional<Clock::time_point> abs_deadline;
+  if (deadline_ms > 0) {
+    abs_deadline = arrival + std::chrono::milliseconds(deadline_ms);
+  }
+
   // Held shared for the whole call: the snapshot (base store contents,
   // worker clones, document map, version) cannot change under us.
   std::shared_lock<std::shared_mutex> snapshot(snapshot_mu_);
-  Clock::time_point start = Clock::now();
 
   ServiceResult out;
   out.store_version = version_.load(std::memory_order_acquire);
@@ -153,7 +313,7 @@ Result<ServiceResult> QueryService::Execute(std::string_view query,
   // Governed calls bypass the result cache: serving cached bytes would
   // skip the injection/cancellation points a caller asked to exercise.
   bool result_cacheable = result_cache_.budget_bytes() != 0 &&
-                          !options.faults.any() && options.cancel == nullptr;
+                          !faults.any() && options.cancel == nullptr;
 
   if (result_cacheable) {
     if (std::shared_ptr<const CachedResult> hit = result_cache_.Get(key)) {
@@ -163,12 +323,41 @@ Result<ServiceResult> QueryService::Execute(std::string_view query,
       out.result.plan_initial = hit->stats_initial;
       out.result.plan_optimized = hit->stats_optimized;
       if (options.profile) out.result.profile.SetCache(false, true, 0);
-      executions_.fetch_add(1, std::memory_order_relaxed);
+      done();
       return out;
     }
   }
 
+  // Poison-query quarantine, before any planning or queueing: an open
+  // breaker fast-fails without burning a worker slot or a compile.
+  // Fault-injected calls never consult it — injection tests must see
+  // their planned outcome, not the breaker's.
+  QuarantineList::Decision quarantine_decision =
+      QuarantineList::Decision::kAdmit;
+  bool quarantine_tracked = !faults.any();
+  if (quarantine_tracked) {
+    quarantine_decision = quarantine_.Admit(key);
+    if (quarantine_decision == QuarantineList::Decision::kShed) {
+      done();
+      return Unavailable(
+          "query quarantined after repeated resource exhaustion: "
+          "request shed (breaker re-probes after cooldown)");
+    }
+  }
+  bool was_probe = quarantine_decision == QuarantineList::Decision::kProbe;
+
+  // Bounded admission. The queue wait is charged against the request's
+  // own deadline; shed requests never reach the planner.
+  Result<AdmissionController::Ticket> ticket = admission_.Admit(abs_deadline);
+  if (!ticket.ok()) {
+    if (was_probe) quarantine_.ProbeAborted(key);
+    done();
+    return ticket.status();
+  }
+  Worker& worker = *workers_[ticket.value().slot];
+
   // Plan: cached DAG when warm, full front-half pipeline when cold.
+  Clock::time_point plan_start = Clock::now();
   std::shared_ptr<const CachedPlan> plan;
   if (plan_cache_enabled_) plan = plan_cache_.Get(key);
   if (plan != nullptr) {
@@ -177,7 +366,11 @@ Result<ServiceResult> QueryService::Execute(std::string_view query,
   } else {
     Result<QueryPlans> planned = PlanQuery(query, options, &strings_);
     if (!planned.ok()) {
-      executions_.fetch_add(1, std::memory_order_relaxed);
+      admission_.Release(ticket.value().slot);
+      // A compile error is instant evidence the query is not poison (it
+      // never reaches the governor), so it closes a probing breaker.
+      if (quarantine_tracked) quarantine_.Record(key, false, was_probe);
+      done();
       return planned.status();
     }
     auto fresh = std::make_shared<CachedPlan>();
@@ -186,7 +379,7 @@ Result<ServiceResult> QueryService::Execute(std::string_view query,
     fresh->optimized = planned.value().optimized;
     fresh->stats_initial = CollectPlanStats(*fresh->dag, fresh->initial);
     fresh->stats_optimized = CollectPlanStats(*fresh->dag, fresh->optimized);
-    out.result.compile_ms = MsSince(start);
+    out.result.compile_ms = MsSince(plan_start);
     if (plan_cache_enabled_) {
       plan_cache_.Put(key, fresh, PlanBytes(*fresh->dag));
     }
@@ -195,83 +388,80 @@ Result<ServiceResult> QueryService::Execute(std::string_view query,
   out.result.plan_initial = plan->stats_initial;
   out.result.plan_optimized = plan->stats_optimized;
 
-  // Resolve the governor configuration exactly like Session::Execute,
-  // minus the shared-pool budget attachment: the pool is shared across
-  // queries, so charging one query's budget for another query's interns
-  // would be wrong. Node and table bytes are still fully accounted.
-  int64_t deadline_ms =
-      options.deadline_ms > 0
-          ? options.deadline_ms
-          : static_cast<int64_t>(EnvU64("EXRQUY_DEADLINE_MS"));
-  size_t budget_limit =
-      options.memory_budget > 0
-          ? options.memory_budget
-          : static_cast<size_t>(EnvU64("EXRQUY_MEM_BUDGET"));
-  FaultPlan faults =
-      options.faults.any() ? options.faults : FaultPlan::FromEnv();
-  MemoryBudget budget(budget_limit);
-  if (faults.fail_alloc != 0) budget.FailChargeAt(faults.fail_alloc);
-  FaultInjector injector(faults);
-  bool account =
-      budget_limit != 0 || faults.fail_alloc != 0 || options.profile;
-
-  size_t slot = AcquireWorker();
-  Worker& worker = *workers_[slot];
-  if (account) worker.store.set_budget(&budget);
-
-  EvalContext ctx;
-  ctx.store = &worker.store;
-  ctx.strings = &strings_;
-  ctx.documents = documents_;
-  ctx.detect_sorted_inputs = options.physical_sort_detection;
-  ctx.num_threads = options.num_threads;
-  ctx.chunk_rows = options.chunk_rows;
-  ctx.release_intermediates = options.release_intermediates;
-  if (options.profile) ctx.profile = &out.result.profile;
-  ctx.cancel = options.cancel.get();
-  if (deadline_ms > 0) {
-    ctx.has_deadline = true;
-    ctx.deadline = start + std::chrono::milliseconds(deadline_ms);
-  }
-  if (account) ctx.budget = &budget;
-  if (faults.any()) ctx.faults = &injector;
-
-  Clock::time_point t1 = Clock::now();
+  // Retry loop. The worker slot is held across attempts: a transient
+  // failure (budget trip, injected transient fault) is re-run in
+  // degraded mode — serial execution, fresh governor state, capped
+  // backoff — without re-entering the admission queue. Fault-injected
+  // failures are surfaced verbatim unless the plan is marked transient.
+  bool window_degraded = DegradedNow();
   Status failed = Status::Ok();
-  {
-    Evaluator evaluator(*plan->dag, &ctx);
-    Result<TablePtr> table = evaluator.Eval(plan->optimized);
-    if (options.profile) {
-      out.result.profile.SetBudget(budget.limit(), budget.charged(),
-                                   budget.peak());
+  uint32_t attempts = 0;
+  bool any_degraded = false;
+  bool high_water = false;
+  int64_t backoff_ms = 1;
+  for (;;) {
+    ++attempts;
+    bool degraded = window_degraded || attempts > 1;
+    any_degraded = any_degraded || degraded;
+    if (degraded) degraded_runs_.fetch_add(1, std::memory_order_relaxed);
+    if (attempts > 1) {
+      // The failed attempt's operator records must not pollute the
+      // retry's profile.
+      out.result.profile = Profile();
     }
-    if (!table.ok()) {
-      failed = table.status();
-    } else {
-      out.result.execute_ms = MsSince(t1);
-      out.result.sorts_skipped = ctx.sorts_skipped;
-      Result<std::string> serialized = SerializeResult(**table, ctx);
-      Result<std::vector<std::string>> items = ResultItems(**table, ctx);
-      if (!serialized.ok()) {
-        failed = serialized.status();
-      } else if (!items.ok()) {
-        failed = items.status();
-      } else {
-        out.result.serialized = std::move(serialized).value();
-        out.result.items = std::move(items).value();
-      }
+    FaultPlan attempt_faults = attempts == 1 ? faults : FaultPlan{};
+    failed = RunAttempt(*plan, options, worker, deadline_ms, budget_limit,
+                        attempt_faults, arrival, degraded, &high_water, &out);
+    if (failed.ok()) break;
+    bool transient = failed.code() == StatusCode::kResourceExhausted &&
+                     (!faults.any() || faults.transient);
+    if (!transient || attempts > static_cast<uint32_t>(max_retries_)) break;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    // Transient resource exhaustion is the memory-pressure signal: shed
+    // cached result bytes (the one pool of memory the service can free)
+    // and run near-future admissions serial so they don't trip too.
+    pressure_events_.fetch_add(1, std::memory_order_relaxed);
+    result_cache_.Clear();
+    EnterDegradedWindow();
+    int64_t sleep_ms = backoff_ms;
+    backoff_ms = std::min<int64_t>(backoff_ms * 2, 16);
+    if (abs_deadline.has_value()) {
+      int64_t remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              *abs_deadline - Clock::now())
+              .count();
+      if (remaining <= 0) break;  // surface the transient failure as-is
+      sleep_ms = std::min(sleep_ms, remaining);
     }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
-  // Constructed fragments never outlive the call (results hold plain
-  // strings); the shared pool keeps query-interned strings by design.
-  worker.store.set_budget(nullptr);
-  worker.store.TruncateTo(worker.base_nodes, worker.base_fragments);
-  ReleaseWorker(slot);
-  executions_.fetch_add(1, std::memory_order_relaxed);
-  if (!failed.ok()) return failed;
+  admission_.Release(ticket.value().slot);
+
+  // Proactive reaction to a near-limit success: evict the result cache
+  // and open the degraded window *before* a sibling query trips.
+  if (failed.ok() && high_water) {
+    pressure_events_.fetch_add(1, std::memory_order_relaxed);
+    result_cache_.Clear();
+    EnterDegradedWindow();
+  }
+
+  if (quarantine_tracked) {
+    bool resource_failure =
+        !failed.ok() &&
+        (failed.code() == StatusCode::kDeadlineExceeded ||
+         failed.code() == StatusCode::kResourceExhausted);
+    quarantine_.Record(key, resource_failure, was_probe);
+  }
+
+  if (!failed.ok()) {
+    done();
+    return failed;
+  }
 
   uint64_t evicted = 0;
-  if (result_cacheable) {
+  // Degraded runs and near-limit results skip the insert: under
+  // pressure the cache is being drained, not refilled.
+  if (result_cacheable && attempts == 1 && !window_degraded && !high_water) {
     size_t bytes = out.result.serialized.size() + 64;
     for (const std::string& item : out.result.items) {
       bytes += item.size() + sizeof(std::string);
@@ -287,7 +477,10 @@ Result<ServiceResult> QueryService::Execute(std::string_view query,
   }
   if (options.profile) {
     out.result.profile.SetCache(out.plan_cache_hit, false, evicted);
+    out.result.profile.SetAdmission(ticket.value().queue_ms, attempts,
+                                    any_degraded);
   }
+  done();
   return out;
 }
 
@@ -297,6 +490,12 @@ ServiceCounters QueryService::counters() const {
   out.store_version = version_.load(std::memory_order_acquire);
   out.plan_cache = plan_cache_.stats();
   out.result_cache = result_cache_.stats();
+  out.admission = admission_.stats();
+  out.quarantine = quarantine_.stats();
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.degraded_runs = degraded_runs_.load(std::memory_order_relaxed);
+  out.pressure_events = pressure_events_.load(std::memory_order_relaxed);
+  out.latency_us = latency_us_.Snapshot();
   return out;
 }
 

@@ -32,10 +32,26 @@
 // LoadDocument is exclusive: it waits for in-flight executions, parses
 // into the base store, re-clones every worker, bumps the store version
 // (so stale cache keys can never hit again) and drops both caches.
+//
+// Overload resilience (api/admission.h). Execute calls that find every
+// worker busy wait in a *bounded* admission queue and are shed with
+// kUnavailable (queue full / queue timeout) or kDeadlineExceeded (the
+// request's own deadline expired while queued) instead of blocking
+// forever. Transient failures — a memory-budget trip, an injected
+// transient fault — are retried up to max_retries times in *degraded
+// mode* (serial execution, plan/result caches bypassed) after evicting
+// the result cache, with capped exponential backoff. A query whose
+// budget peak crosses memory_high_water of its limit triggers the same
+// proactive reaction: result cache evicted, subsequent admissions run
+// serial for degraded_window_ms. Queries that repeatedly exhaust their
+// deadline or budget are quarantined by plan-cache key (circuit breaker
+// with timed half-open probes) and fast-fail kUnavailable without
+// occupying a worker.
 #ifndef EXRQUY_API_SERVICE_H_
 #define EXRQUY_API_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -46,6 +62,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/admission.h"
 #include "api/session.h"
 #include "common/cache.h"
 #include "common/governor.h"
@@ -57,7 +74,6 @@ namespace exrquy {
 
 struct ServiceConfig {
   // Concurrent execution slots. 0 = hardware concurrency (at least 1).
-  // Execute calls beyond this block until a slot frees up.
   size_t workers = 0;
 
   // Plan cache: -1 defers to EXRQUY_PLAN_CACHE ("0" disables; default
@@ -67,6 +83,39 @@ struct ServiceConfig {
   // Result cache byte budget: -1 defers to EXRQUY_RESULT_CACHE_BYTES
   // (unset/0 = disabled), 0 disables, > 0 enables with that budget.
   int64_t result_cache_bytes = -1;
+
+  // -- Admission (api/admission.h) ----------------------------------------
+  // Max Execute calls queued for a worker slot at once; one more arrival
+  // is shed immediately with kUnavailable. -1 defers to
+  // EXRQUY_MAX_QUEUE_DEPTH (unset = unbounded, the pre-admission
+  // behavior); 0 = never queue.
+  int64_t max_queue_depth = -1;
+
+  // Longest a call may wait queued before being shed with kUnavailable.
+  // -1 defers to EXRQUY_QUEUE_TIMEOUT_MS (unset = no timeout); 0 = no
+  // timeout. A request's own deadline_ms always also bounds the wait.
+  int64_t queue_timeout_ms = -1;
+
+  // -- Retry / degradation ------------------------------------------------
+  // Transient-failure retries per Execute (degraded mode: serial, caches
+  // bypassed, capped backoff). -1 defers to EXRQUY_MAX_RETRIES (unset =
+  // 1); 0 disables retrying.
+  int max_retries = -1;
+
+  // Fraction of a query's memory budget whose crossing (by the peak
+  // charge) counts as memory pressure: the result cache is evicted and
+  // new queries are admitted in serial mode for degraded_window_ms
+  // rather than being allowed to trip their budgets too.
+  double memory_high_water = 0.85;
+  int64_t degraded_window_ms = 100;
+
+  // -- Poison-query quarantine --------------------------------------------
+  // Consecutive deadline/budget exhaustions (fault injection excluded)
+  // before a query key is quarantined. 0 disables the breaker.
+  uint32_t quarantine_failures = 3;
+  // Open -> half-open probe delay; doubles per failed probe (capped
+  // internally at 30 s).
+  int64_t quarantine_cooldown_ms = 250;
 };
 
 // Execute's answer: the Session-shaped QueryResult plus what the service
@@ -79,12 +128,21 @@ struct ServiceResult {
 };
 
 // Aggregate service observability (also mirrored per-execution into
-// Profile::SetCache when QueryOptions::profile is set).
+// Profile::SetCache / Profile::SetAdmission when QueryOptions::profile
+// is set).
 struct ServiceCounters {
   uint64_t executions = 0;     // completed Execute calls (ok or error)
   uint64_t store_version = 0;  // bumped by every LoadDocument
   CacheStats plan_cache;
   CacheStats result_cache;
+
+  // Resilience layer.
+  AdmissionStats admission;       // queue/shed counters + queue-wait hist
+  QuarantineStats quarantine;     // breaker trips/probes/recoveries
+  uint64_t retries = 0;           // extra attempts after transient failure
+  uint64_t degraded_runs = 0;     // attempts executed in degraded mode
+  uint64_t pressure_events = 0;   // high-water / budget-trip reactions
+  LatencyHistogram latency_us;    // end-to-end Execute latency (all calls)
 };
 
 class QueryService {
@@ -112,9 +170,16 @@ class QueryService {
   }
   size_t worker_count() const { return workers_.size(); }
 
+  // Test hook: true when every worker store sits exactly at its snapshot
+  // bounds — i.e. every execution, including failed and faulted ones,
+  // rolled its constructed fragments back. Call on a quiesced service.
+  bool WorkersPristine() const;
+
   StrPool& strings() { return strings_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   // A compiled + optimized plan with everything Execute needs to skip
   // compilation: the DAG (const during evaluation — that is what makes
   // one cached plan shareable across workers), roots, and the
@@ -146,11 +211,26 @@ class QueryService {
     size_t base_fragments = 0;
   };
 
-  size_t AcquireWorker();
-  void ReleaseWorker(size_t idx);
   void CloneWorkersLocked();
 
+  // One execution attempt on a held worker: governor setup, evaluation,
+  // serialization, worker rollback. Fills `out` on success. `degraded`
+  // forces serial execution; `high_water` reports whether the attempt's
+  // budget peak crossed the memory_high_water fraction.
+  Status RunAttempt(const CachedPlan& plan, const QueryOptions& options,
+                    Worker& worker, int64_t deadline_ms, size_t budget_limit,
+                    const FaultPlan& faults, Clock::time_point arrival,
+                    bool degraded, bool* high_water, ServiceResult* out);
+
+  // True while the memory-pressure degraded window is open: admissions
+  // run serial until it expires.
+  bool DegradedNow() const;
+  void EnterDegradedWindow();
+
   bool plan_cache_enabled_;
+  int max_retries_;
+  double memory_high_water_;
+  int64_t degraded_window_ms_;
   // Shared pool first: workers' stores reference it.
   StrPool strings_;
   NodeStore base_store_;
@@ -162,9 +242,12 @@ class QueryService {
   mutable std::shared_mutex snapshot_mu_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::mutex workers_mu_;
-  std::condition_variable workers_cv_;
-  std::vector<size_t> free_workers_;
+  AdmissionController admission_;
+  QuarantineList quarantine_;
+
+  // Memory-pressure degraded window: admissions before this instant run
+  // serial. time_since_epoch in nanoseconds (steady clock), 0 = closed.
+  std::atomic<int64_t> degraded_until_ns_{0};
 
   // Result-cache byte accounting (observability: peak/charged for
   // counters and profiles; the cache's own budget does the enforcing).
@@ -173,6 +256,10 @@ class QueryService {
   ShardedLruCache<CachedResult> result_cache_;
 
   std::atomic<uint64_t> executions_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> degraded_runs_{0};
+  std::atomic<uint64_t> pressure_events_{0};
+  AtomicLatencyHistogram latency_us_;
 };
 
 }  // namespace exrquy

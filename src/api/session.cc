@@ -215,8 +215,10 @@ Result<QueryResult> Session::Execute(std::string_view query,
   size_t budget_limit = options.memory_budget > 0
                             ? options.memory_budget
                             : static_cast<size_t>(EnvU64("EXRQUY_MEM_BUDGET"));
-  FaultPlan faults = options.faults.any() ? options.faults
-                                          : FaultPlan::FromEnv();
+  FaultPlan faults = options.faults;
+  if (!faults.any()) {
+    EXRQUY_ASSIGN_OR_RETURN(faults, FaultPlan::FromEnv());
+  }
 
   MemoryBudget budget(budget_limit);
   if (faults.fail_alloc != 0) budget.FailChargeAt(faults.fail_alloc);

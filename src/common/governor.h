@@ -93,6 +93,15 @@ class MemoryBudget {
   size_t charged() const {
     return charged_.load(std::memory_order_relaxed);
   }
+
+  // True when the high-water mark crossed `fraction` of the limit — the
+  // memory-pressure signal the query service's graceful-degradation path
+  // reacts to (api/service.h). Always false with no limit.
+  bool PeakAboveFraction(double fraction) const {
+    return limit_ != 0 &&
+           static_cast<double>(peak()) >=
+               fraction * static_cast<double>(limit_);
+  }
   size_t peak() const { return peak_.load(std::memory_order_relaxed); }
   uint64_t charges() const {
     return charges_.load(std::memory_order_relaxed);

@@ -1,9 +1,8 @@
 #include "common/status.h"
 
 namespace exrquy {
-namespace {
 
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -25,15 +24,15 @@ const char* CodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;
@@ -65,6 +64,9 @@ Status DeadlineExceeded(std::string message) {
 }
 Status ResourceExhausted(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace exrquy

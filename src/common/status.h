@@ -25,7 +25,20 @@ enum class StatusCode {
   kCancelled,          // CancelToken tripped by the caller
   kDeadlineExceeded,   // QueryOptions deadline / EXRQUY_DEADLINE_MS hit
   kResourceExhausted,  // per-query MemoryBudget crossed
+  kUnavailable,        // admission control shed the request (api/service.h)
 };
+
+// Total number of StatusCode values. Kept adjacent to the enum so adding
+// a code forces this constant (and the name table in status.cc) to move
+// with it; tests/test_common.cc asserts every code in [0, count) has a
+// printable name and that count itself does not.
+inline constexpr int kStatusCodeCount =
+    static_cast<int>(StatusCode::kUnavailable) + 1;
+
+// "InvalidArgument", "Unavailable", ... — "Unknown" for out-of-range
+// values. Exposed (rather than private to Status::ToString) so tests can
+// assert the table covers every code.
+const char* StatusCodeName(StatusCode code);
 
 // A success-or-error value. Cheap to copy on the success path.
 // [[nodiscard]] on the type makes every Status-returning API warn when a
@@ -62,6 +75,7 @@ Status Internal(std::string message);
 Status Cancelled(std::string message);
 Status DeadlineExceeded(std::string message);
 Status ResourceExhausted(std::string message);
+Status Unavailable(std::string message);
 
 // Result<T> carries either a value or an error Status. [[nodiscard]]
 // for the same reason as Status.

@@ -17,11 +17,21 @@
 //   EXRQUY_FAULT_ALLOC=N           fail MemoryBudget charge N  -> kResourceExhausted
 //   EXRQUY_FAULT_CANCEL_OP=K       cancel at op dispatch K     -> kCancelled
 //   EXRQUY_FAULT_DEADLINE_CHUNK=M  deadline at chunk M         -> kDeadlineExceeded
+//   EXRQUY_FAULT_TRANSIENT=1       mark the fault transient (see below)
+//
+// A *transient* fault models a one-off incident (an allocation glitch, a
+// pressure spike) rather than a property of the query: the QueryService
+// retry policy (api/service.h) is allowed to re-run a transiently-faulted
+// request with the fault disarmed, where a plain injected fault is always
+// surfaced verbatim so injection tests stay deterministic.
 #ifndef EXRQUY_ENGINE_FAULTS_H_
 #define EXRQUY_ENGINE_FAULTS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+
+#include "common/status.h"
 
 namespace exrquy {
 
@@ -31,13 +41,18 @@ struct FaultPlan {
   uint64_t fail_alloc = 0;         // MemoryBudget charge number
   uint64_t cancel_at_op = 0;       // operator dispatch number
   uint64_t deadline_at_chunk = 0;  // chunk-boundary poll number
+  bool transient = false;          // retryable-once incident, not a replay
 
   bool any() const {
     return fail_alloc != 0 || cancel_at_op != 0 || deadline_at_chunk != 0;
   }
 
-  // Reads the EXRQUY_FAULT_* environment variables (unset/invalid = 0).
-  static FaultPlan FromEnv();
+  // Reads the EXRQUY_FAULT_* environment variables. Unset/empty = 0
+  // (disarmed); anything else must be a plain non-negative decimal
+  // integer (EXRQUY_FAULT_TRANSIENT: "0" or "1") — malformed, signed, or
+  // out-of-range values are a kInvalidArgument naming the offending
+  // variable, never silently parsed as garbage.
+  static Result<FaultPlan> FromEnv();
 };
 
 // Per-query counter state for one FaultPlan. The evaluator consults it
@@ -74,6 +89,36 @@ class FaultInjector {
   std::atomic<uint64_t> ops_{0};
   std::atomic<uint64_t> chunks_{0};
 };
+
+// ---------------------------------------------------------------------
+// Exhaustive fault-point sweep.
+
+// Which engine counter a sweep walks.
+enum class FaultKind {
+  kFailAlloc,        // MemoryBudget charges      -> kResourceExhausted
+  kCancelAtOp,       // operator dispatches       -> kCancelled
+  kDeadlineAtChunk,  // chunk-boundary polls      -> kDeadlineExceeded
+};
+
+// The Status code a fault of `kind` surfaces as when its point is hit.
+StatusCode FaultKindCode(FaultKind kind);
+
+// Runs `attempt` with the single fault point N armed for N = 1, 2, ...
+// until the first clean (OK) run — i.e. until N exceeds every counter
+// tick the workload performs, proving every single failure point was
+// exercised. After each faulted attempt, `check` (optional) is invoked
+// with (N, status) so the caller can assert the planned code, a pristine
+// session/service, and a byte-identical unfaulted re-run.
+//
+// Returns the number of faulted points (the first clean N minus one).
+// Errors: an attempt succeeding *before* a later one fails cannot happen
+// by construction (the sweep stops at the first clean run); exceeding
+// `max_points` without a clean run returns kInternal, the guard against
+// a workload whose counters never settle.
+Result<uint64_t> SweepFaultPoints(
+    FaultKind kind, uint64_t max_points,
+    const std::function<Status(const FaultPlan&)>& attempt,
+    const std::function<void(uint64_t, const Status&)>& check = nullptr);
 
 }  // namespace exrquy
 

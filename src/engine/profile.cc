@@ -89,6 +89,13 @@ void Profile::SetCache(bool plan_cache_hit, bool result_cache_hit,
   result_cache_evictions_ = result_evictions;
 }
 
+void Profile::SetAdmission(double queue_ms, uint32_t attempts,
+                           bool degraded) {
+  queue_ms_ = queue_ms;
+  attempts_ = attempts;
+  degraded_ = degraded;
+}
+
 const std::vector<Profile::OpMetrics>& Profile::ops() const {
   if (!ops_sorted_) {
     std::stable_sort(
@@ -148,6 +155,11 @@ std::string Profile::ToJson() const {
                 plan_cache_hit_ ? "true" : "false",
                 result_cache_hit_ ? "true" : "false",
                 static_cast<unsigned long long>(result_cache_evictions_));
+  out += buf;
+  out += "  \"admission\": {\"queue_ms\": ";
+  AppendNumber(queue_ms_, &out);
+  std::snprintf(buf, sizeof(buf), ", \"attempts\": %u, \"degraded\": %s},\n",
+                attempts_, degraded_ ? "true" : "false");
   out += buf;
   out += "  \"ops\": [\n";
   const std::vector<OpMetrics>& records = ops();

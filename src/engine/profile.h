@@ -59,6 +59,11 @@ class Profile {
   // plain Session executions.
   void SetCache(bool plan_cache_hit, bool result_cache_hit,
                 uint64_t result_evictions);
+  // Query-service admission facts (api/admission.h): time spent queued
+  // for a worker slot, number of execution attempts (1 = no retry), and
+  // whether the run was admitted in degraded mode (serial execution,
+  // caches bypassed). Zeroed for plain Session executions.
+  void SetAdmission(double queue_ms, uint32_t attempts, bool degraded);
 
   const std::map<std::string, Bucket>& by_prov() const { return by_prov_; }
   const std::map<std::string, Bucket>& by_kind() const { return by_kind_; }
@@ -77,6 +82,9 @@ class Profile {
   bool plan_cache_hit() const { return plan_cache_hit_; }
   bool result_cache_hit() const { return result_cache_hit_; }
   uint64_t result_cache_evictions() const { return result_cache_evictions_; }
+  double queue_ms() const { return queue_ms_; }
+  uint32_t attempts() const { return attempts_; }
+  bool degraded() const { return degraded_; }
 
   // Table 2-style rendering: one line per provenance label, with
   // millisecond and percentage columns, sorted by time descending.
@@ -103,6 +111,9 @@ class Profile {
   bool plan_cache_hit_ = false;
   bool result_cache_hit_ = false;
   uint64_t result_cache_evictions_ = 0;
+  double queue_ms_ = 0;
+  uint32_t attempts_ = 0;  // 0 = not a service execution
+  bool degraded_ = false;
 };
 
 }  // namespace exrquy

@@ -2,6 +2,9 @@
 // column symbols, Value identity/hashing.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "common/status.h"
 #include "common/str_pool.h"
 #include "common/symbols.h"
@@ -30,6 +33,31 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(CardinalityError("x").code(), StatusCode::kCardinalityError);
   EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  // Exhaustive: every StatusCode in [0, kStatusCodeCount) maps to a
+  // distinct printable name, and the first out-of-range value does not —
+  // adding a code without extending the name table (or the count) fails
+  // here.
+  std::set<std::string> names;
+  for (int i = 0; i < kStatusCodeCount; ++i) {
+    std::string name = StatusCodeName(static_cast<StatusCode>(i));
+    EXPECT_NE(name, "Unknown") << "code " << i << " missing from the table";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate name \"" << name << "\" for code " << i;
+  }
+  EXPECT_EQ(StatusCodeName(static_cast<StatusCode>(kStatusCodeCount)),
+            std::string("Unknown"));
+}
+
+TEST(StatusTest, UnavailableCode) {
+  Status st = Unavailable("shed");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(st.ToString(), "Unavailable: shed");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable),
+            std::string("Unavailable"));
 }
 
 TEST(ResultTest, HoldsValue) {
