@@ -21,6 +21,7 @@
 //                   "legacy_us": t, "framework_us": t,
 //                   "new_facts_us": t, "semtype_us": t, "orderdep_us": t,
 //                   "plan_all_rewrites_ms": t, "plan_old_rewrites_ms": t,
+//                   "plan_no_certify_ms": t, "certify_us": t,
 //                   "rownum_ordered": n, "rownum_unordered": n},
 //                  ... ],
 //     "totals": { "legacy_us": t, "framework_us": t, ... } }
@@ -306,6 +307,8 @@ struct Row {
   double orderdep_us = 0;
   double plan_all_ms = 0;
   double plan_old_ms = 0;
+  double plan_nocert_ms = 0;
+  double certify_us = 0;
   size_t rownum_ordered = 0;
   size_t rownum_unordered = 0;
 };
@@ -318,6 +321,13 @@ void Run() {
   old_rewrites.empty_short_circuit = false;
   old_rewrites.rownum_by_keys = false;
   old_rewrites.rownum_by_od = false;
+  // Certificate emission + validation cost: `enabled` plans in the
+  // default checking mode, `no_certify` turns the whole machinery off.
+  // The delta is what translation validation adds to planning.
+  QueryOptions certified = enabled;
+  certified.certify.mode = CertifyMode::kCheck;
+  QueryOptions no_certify = enabled;
+  no_certify.certify.mode = CertifyMode::kOff;
 
   const int kAnalysisReps = 40;
   const int kPlanReps = 9;
@@ -414,7 +424,7 @@ void Run() {
           CollectPlanStats(*pu->dag, pu->optimized).rownum_ops;
     }
 
-    std::vector<double> all_ms, old_ms;
+    std::vector<double> all_ms, old_ms, cert_ms, nocert_ms;
     for (int i = 0; i < kPlanReps; ++i) {
       Clock::time_point t0 = Clock::now();
       (void)session->Plan(query.text, enabled);
@@ -422,26 +432,34 @@ void Run() {
       t0 = Clock::now();
       (void)session->Plan(query.text, old_rewrites);
       old_ms.push_back(UsSince(t0) / 1000.0);
+      t0 = Clock::now();
+      (void)session->Plan(query.text, certified);
+      cert_ms.push_back(UsSince(t0) / 1000.0);
+      t0 = Clock::now();
+      (void)session->Plan(query.text, no_certify);
+      nocert_ms.push_back(UsSince(t0) / 1000.0);
     }
     row.plan_all_ms = Median(all_ms);
     row.plan_old_ms = Median(old_ms);
+    row.plan_nocert_ms = Median(nocert_ms);
+    row.certify_us = (Median(cert_ms) - row.plan_nocert_ms) * 1000.0;
     rows.push_back(row);
   }
 
   std::printf(
       "Optimizer analysis cost — framework vs pre-framework walks\n\n");
-  std::printf("%-6s %5s %11s %13s %13s %11s %11s %10s %10s %6s %6s\n",
+  std::printf("%-6s %5s %11s %13s %13s %11s %11s %10s %10s %10s %6s %6s\n",
               "query", "ops", "legacy_us", "framework_us", "new_facts_us",
-              "semtype_us", "orderdep_us", "plan_all", "plan_old", "%ord",
-              "%unord");
+              "semtype_us", "orderdep_us", "plan_all", "plan_old",
+              "certify_us", "%ord", "%unord");
   Row total;
   for (const Row& r : rows) {
     std::printf(
         "%-6s %5zu %11.1f %13.1f %13.1f %11.1f %11.1f %9.2fms %9.2fms "
-        "%6zu %6zu\n",
+        "%10.1f %6zu %6zu\n",
         r.name.c_str(), r.ops, r.legacy_us, r.framework_us, r.new_facts_us,
         r.semtype_us, r.orderdep_us, r.plan_all_ms, r.plan_old_ms,
-        r.rownum_ordered, r.rownum_unordered);
+        r.certify_us, r.rownum_ordered, r.rownum_unordered);
     total.ops += r.ops;
     total.legacy_us += r.legacy_us;
     total.framework_us += r.framework_us;
@@ -450,16 +468,22 @@ void Run() {
     total.orderdep_us += r.orderdep_us;
     total.plan_all_ms += r.plan_all_ms;
     total.plan_old_ms += r.plan_old_ms;
+    total.plan_nocert_ms += r.plan_nocert_ms;
+    total.certify_us += r.certify_us;
     total.rownum_ordered += r.rownum_ordered;
     total.rownum_unordered += r.rownum_unordered;
   }
   std::printf(
       "%-6s %5zu %11.1f %13.1f %13.1f %11.1f %11.1f %9.2fms %9.2fms "
-      "%6zu %6zu\n",
+      "%10.1f %6zu %6zu\n",
       "total", total.ops, total.legacy_us, total.framework_us,
       total.new_facts_us, total.semtype_us, total.orderdep_us,
-      total.plan_all_ms, total.plan_old_ms, total.rownum_ordered,
-      total.rownum_unordered);
+      total.plan_all_ms, total.plan_old_ms, total.certify_us,
+      total.rownum_ordered, total.rownum_unordered);
+  std::printf("certification overhead: %.1f%% of certificate-free planning\n",
+              total.plan_nocert_ms > 0
+                  ? 100.0 * (total.certify_us / 1000.0) / total.plan_nocert_ms
+                  : 0.0);
 
   FILE* f = std::fopen("BENCH_optimizer.json", "w");
   if (f == nullptr) return;
@@ -472,10 +496,12 @@ void Run() {
                  "\"semtype_us\": %.1f, \"orderdep_us\": %.1f, "
                  "\"plan_all_rewrites_ms\": %.3f, "
                  "\"plan_old_rewrites_ms\": %.3f, "
+                 "\"plan_no_certify_ms\": %.3f, \"certify_us\": %.1f, "
                  "\"rownum_ordered\": %zu, \"rownum_unordered\": %zu}%s\n",
                  r.name.c_str(), r.ops, r.legacy_us, r.framework_us,
                  r.new_facts_us, r.semtype_us, r.orderdep_us, r.plan_all_ms,
-                 r.plan_old_ms, r.rownum_ordered, r.rownum_unordered,
+                 r.plan_old_ms, r.plan_nocert_ms, r.certify_us,
+                 r.rownum_ordered, r.rownum_unordered,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f,
@@ -484,10 +510,12 @@ void Run() {
                "\"semtype_us\": %.1f, \"orderdep_us\": %.1f, "
                "\"plan_all_rewrites_ms\": %.3f, "
                "\"plan_old_rewrites_ms\": %.3f, "
+               "\"plan_no_certify_ms\": %.3f, \"certify_us\": %.1f, "
                "\"rownum_ordered\": %zu, \"rownum_unordered\": %zu}\n}\n",
                total.ops, total.legacy_us, total.framework_us,
                total.new_facts_us, total.semtype_us, total.orderdep_us,
-               total.plan_all_ms, total.plan_old_ms, total.rownum_ordered,
+               total.plan_all_ms, total.plan_old_ms, total.plan_nocert_ms,
+               total.certify_us, total.rownum_ordered,
                total.rownum_unordered);
   std::fclose(f);
   std::printf("\nwritten to BENCH_optimizer.json\n");

@@ -70,6 +70,7 @@ inline double MedianExecMs(Session* session, const std::string& query,
 }
 
 inline double EnvScale(const char* name, double fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup at startup
   const char* v = std::getenv(name);
   return v != nullptr ? std::atof(v) : fallback;
 }

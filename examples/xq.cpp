@@ -9,6 +9,13 @@
 //     --sql           print the generated SQL:1999 instead of executing
 //     --explain-order print, for every sort surviving optimization, the
 //                     source constructs whose order demand keeps it alive
+//     --explain-rewrites
+//                     print every rewrite instance with its certificate
+//                     verdict (what fired, what it cited, whether the
+//                     independent checker proved the obligation), ending
+//                     with a "[certify] emitted=... validated=...
+//                     rejected=..." summary line. EXRQUY_CERTIFY selects
+//                     the mode (check | strict | spot | off)
 //     --profile       print the Table 2-style execution profile
 //     --serve-batch N replay the query mix through the concurrent
 //                     QueryService on N client threads (the input may
@@ -48,7 +55,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: xq [-d name=path]... [--baseline|--unordered] "
-               "[--plan|--sql|--explain-order] [--profile] "
+               "[--plan|--sql|--explain-order|--explain-rewrites] "
+               "[--profile] "
                "[--serve-batch N [--repeat R] [--queue-depth N] "
                "[--queue-timeout-ms N] [--retries N]] "
                "(-e <expr> | query.xq | -)\n");
@@ -221,6 +229,7 @@ int main(int argc, char** argv) {
   bool want_plan = false;
   bool want_sql = false;
   bool want_explain_order = false;
+  bool want_explain_rewrites = false;
   size_t serve_threads = 0;
   size_t serve_repeat = 8;
   ServeKnobs knobs;
@@ -260,6 +269,8 @@ int main(int argc, char** argv) {
       want_sql = true;
     } else if (arg == "--explain-order") {
       want_explain_order = true;
+    } else if (arg == "--explain-rewrites") {
+      want_explain_rewrites = true;
     } else if (arg == "--profile") {
       options.profile = true;
     } else if (!have_query) {
@@ -285,7 +296,9 @@ int main(int argc, char** argv) {
   if (!have_query) return Usage();
 
   if (serve_threads > 0) {
-    if (want_plan || want_sql || want_explain_order) return Usage();
+    if (want_plan || want_sql || want_explain_order || want_explain_rewrites) {
+      return Usage();
+    }
     return ServeBatch(docs, query, options, serve_threads, serve_repeat,
                       knobs);
   }
@@ -332,6 +345,40 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  }
+
+  if (want_explain_rewrites) {
+    exrquy::Result<exrquy::RewriteExplanation> explained =
+        session.ExplainRewrites(query, options);
+    if (!explained.ok()) {
+      std::fprintf(stderr, "xq: %s\n",
+                   explained.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& e : explained->entries) {
+      const char* verdict = !e.checked ? "uncertified"
+                            : e.valid  ? "certified"
+                                       : "REJECTED";
+      std::printf("%s  op %u -> op %u  [%s]", e.rule.c_str(), e.from, e.to,
+                  verdict);
+      if (e.checked && !e.valid) {
+        std::printf("  obligation %s%s", e.obligation.c_str(),
+                    e.committed ? " (committed anyway)" : " (kept out)");
+      }
+      std::printf("\n  %s", e.label.c_str());
+      if (!e.source.empty()) std::printf("  -- %s", e.source.c_str());
+      std::printf("\n  %s\n", e.detail.c_str());
+      for (const std::string& fact : e.facts) {
+        std::printf("  cites %s\n", fact.c_str());
+      }
+      if (e.checked && !e.valid) {
+        std::printf("  %s\n", e.diagnostic.c_str());
+      }
+    }
+    std::printf("[certify] emitted=%zu validated=%zu rejected=%zu\n",
+                explained->emitted, explained->validated,
+                explained->rejected);
+    return explained->rejected == 0 ? 0 : 1;
   }
 
   if (want_plan || want_sql) {

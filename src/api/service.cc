@@ -22,6 +22,7 @@ double MsSince(Clock::time_point start) {
 }
 
 uint64_t EnvU64(const char* name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup at resolve
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return 0;
   char* end = nullptr;
@@ -33,6 +34,7 @@ uint64_t EnvU64(const char* name) {
 // different things (e.g. queue depth: unset = unbounded, 0 = never
 // queue).
 bool EnvU64Present(const char* name, uint64_t* value) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup at resolve
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return false;
   char* end = nullptr;
@@ -42,6 +44,7 @@ bool EnvU64Present(const char* name, uint64_t* value) {
 }
 
 bool EnvPlanCacheEnabled() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup at resolve
   const char* v = std::getenv("EXRQUY_PLAN_CACHE");
   if (v == nullptr || *v == '\0') return true;  // default on
   return std::string_view(v) != "0";
@@ -87,14 +90,20 @@ int ResolveMaxRetries(int requested) {
 // share a plan share a breaker.
 std::string CacheKey(std::string_view query, const QueryOptions& o,
                      uint64_t version) {
+  // Certification participates resolved (options beat environment, like
+  // PlanQuery itself): a strict plan may differ from a checked one when a
+  // certificate is rejected, and a forced rejection must never leak a
+  // mutilated plan into another caller's cache slot.
+  CertifySettings rc = ResolveCertify(o.certify);
   uint64_t bits = 0;
   for (bool b : {o.default_ordering == OrderingMode::kOrdered,
                  o.enable_order_indifference, o.insert_unordered,
                  o.mode_rules, o.column_pruning, o.weaken_rownum,
                  o.distinct_elimination, o.step_merging, o.distinct_by_keys,
                  o.empty_short_circuit, o.rownum_by_keys, o.rownum_by_od,
-                 o.join_recognition, o.theta_join,
-                 o.physical_sort_detection}) {
+                 o.join_recognition, o.theta_join, o.physical_sort_detection,
+                 rc.mode == CertifyMode::kStrict, rc.mode == CertifyMode::kOff,
+                 rc.spot_check, !rc.force_reject_rule.empty()}) {
     bits = (bits << 1) | (b ? 1 : 0);
   }
   char suffix[48];
@@ -105,6 +114,10 @@ std::string CacheKey(std::string_view query, const QueryOptions& o,
   key.reserve(query.size() + sizeof(suffix));
   key.append(query.data(), query.size());
   key += suffix;
+  if (!rc.force_reject_rule.empty()) {
+    key += '\x1f';
+    key += rc.force_reject_rule;
+  }
   return key;
 }
 

@@ -1,11 +1,14 @@
 #include "api/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "algebra/dot.h"
+#include "engine/value.h"
+#include "xml/serializer.h"
 #include "compiler/compile.h"
 #include "opt/analyses.h"
 #include "opt/pipeline.h"
@@ -25,11 +28,18 @@ double MsSince(Clock::time_point start) {
 }
 
 uint64_t EnvU64(const char* name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return 0;
   char* end = nullptr;
   unsigned long long n = std::strtoull(v, &end, 10);
   return end == v ? 0 : static_cast<uint64_t>(n);
+}
+
+// Whether the rewrite this certificate describes made it into the plan:
+// strict mode keeps the old sub-plan when the obligation fails.
+bool Committed(const RewriteTrade& t, const CertifySettings& resolved) {
+  return !(resolved.mode == CertifyMode::kStrict && t.checked && !t.valid);
 }
 
 }  // namespace
@@ -92,6 +102,7 @@ Result<QueryPlans> PlanQuery(std::string_view query,
   oopts.rewrites.rownum_by_od = options.rownum_by_od;
   oopts.rewrites.join_recognition = options.join_recognition;
   oopts.rewrites.theta_join = options.theta_join;
+  oopts.rewrites.certify = options.certify;
   oopts.verify_each_pass = options.verify_each_pass;
   oopts.strings = strings;
   oopts.trade_log = &plans.trades;
@@ -138,7 +149,12 @@ Result<OrderExplanation> Session::ExplainOrder(std::string_view query,
     p.reasons = prov.ReasonsFor(id, op.col);
     out.sorts.push_back(std::move(p));
   }
+  // The trade log now covers every rewrite family; --explain-order
+  // surfaces only the % eliminations that actually made it into the plan
+  // (strict certification keeps the old % when an obligation fails).
+  CertifySettings resolved = ResolveCertify(options.certify);
   for (const RewriteTrade& t : plans.trades) {
+    if (!t.order_trade || !Committed(t, resolved)) continue;
     OrderExplanation::Trade trade;
     trade.op = t.from;
     trade.label = OpToString(dag, t.from, strings_);
@@ -152,8 +168,55 @@ Result<OrderExplanation> Session::ExplainOrder(std::string_view query,
   // Annotate the surviving replacements of traded %s with the trade's
   // justification (the eliminated % itself is no longer in the plan).
   for (const RewriteTrade& t : plans.trades) {
+    if (!t.order_trade || !Committed(t, resolved)) continue;
     annotations[t.to].push_back("order traded (" + t.rule + "): " +
                                 t.detail);
+  }
+  // Annotations for ops that did not survive later passes would confuse
+  // the DOT rendering: restrict to the final plan.
+  std::map<OpId, std::vector<std::string>> live;
+  for (OpId id : dag.ReachableFrom(plans.optimized)) {
+    auto it = annotations.find(id);
+    if (it != annotations.end()) live.emplace(id, std::move(it->second));
+  }
+  out.dot = PlanToDot(dag, plans.optimized, strings_, live);
+  return out;
+}
+
+Result<RewriteExplanation> Session::ExplainRewrites(
+    std::string_view query, const QueryOptions& options) {
+  EXRQUY_ASSIGN_OR_RETURN(QueryPlans plans, PlanInternal(query, options));
+  const Dag& dag = *plans.dag;
+  CertifySettings resolved = ResolveCertify(options.certify);
+  RewriteExplanation out;
+  std::map<OpId, std::vector<std::string>> annotations;
+  for (const RewriteTrade& t : plans.trades) {
+    RewriteExplanation::Entry e;
+    e.from = t.from;
+    e.to = t.to;
+    e.rule = t.rule;
+    e.detail = t.detail;
+    e.label = OpToString(dag, t.from, strings_);
+    e.source = dag.op(t.from).prov;
+    for (const CitedFact& f : t.cited) e.facts.push_back(f.text);
+    e.checked = t.checked;
+    e.valid = t.valid;
+    e.committed = Committed(t, resolved);
+    e.obligation = t.obligation;
+    e.diagnostic = t.diagnostic;
+    ++out.emitted;
+    if (t.checked && t.valid) ++out.validated;
+    if (t.checked && !t.valid) ++out.rejected;
+    std::string note = t.checked
+                           ? (t.valid ? "certified (" + t.rule + ")"
+                                      : "certificate FAILED [" +
+                                            t.obligation + "] (" + t.rule +
+                                            (e.committed ? ")"
+                                                         : "), rewrite "
+                                                           "kept out"))
+                           : "uncertified (" + t.rule + ")";
+    annotations[e.committed ? t.to : t.from].push_back(std::move(note));
+    out.entries.push_back(std::move(e));
   }
   // Annotations for ops that did not survive later passes would confuse
   // the DOT rendering: restrict to the final plan.
@@ -200,6 +263,93 @@ class SessionRestore {
   size_t strs_;
 };
 
+// One cell of a witnessed column, rendered for byte-for-byte comparison.
+// Nodes render by full serialization: the ids of constructed nodes
+// legitimately differ between the two evaluations, their content must
+// not.
+std::string SpotCell(const Value& v, const NodeStore& store,
+                     const StrPool& strings) {
+  switch (v.kind) {
+    case ValueKind::kInt:
+      return "i:" + std::to_string(v.i);
+    case ValueKind::kDouble:
+      return "d:" + FormatDouble(v.d);
+    case ValueKind::kString:
+      return "s:" + strings.Get(v.str);
+    case ValueKind::kUntyped:
+      return "u:" + strings.Get(v.str);
+    case ValueKind::kBool:
+      return v.b ? "b:true" : "b:false";
+    case ValueKind::kNode:
+      return "n:" + SerializeNode(store, static_cast<NodeIdx>(v.node));
+  }
+  return "?";
+}
+
+Status SpotFail(const RewriteTrade& t, const std::string& detail) {
+  return Internal("certify: [spot-check] " + t.rule + " op " +
+                  std::to_string(t.from) + " -> op " + std::to_string(t.to) +
+                  ": " + detail);
+}
+
+// The dynamic spot check: evaluates every committed rewrite's before and
+// after sub-plans on this Session's documents and compares the exact
+// witness columns byte-for-byte (as multisets when the rewrite is
+// declared order-trading on the physical row order).
+Status SpotCheckCertificates(const Dag& dag,
+                             const std::vector<RewriteTrade>& trades,
+                             const CertifySettings& resolved,
+                             EvalContext* ctx) {
+  for (const RewriteTrade& t : trades) {
+    if (!Committed(t, resolved) || t.from == t.to) continue;
+    std::vector<ColWitness> cols;
+    for (const ColWitness& w : t.witness) {
+      if (w.exact) cols.push_back(w);
+    }
+    if (cols.empty()) continue;
+    Result<TablePtr> before = Evaluator(dag, ctx).Eval(t.from);
+    Result<TablePtr> after = Evaluator(dag, ctx).Eval(t.to);
+    if (!before.ok() && !after.ok()) continue;  // both raise: equivalent
+    if (before.ok() != after.ok()) {
+      return SpotFail(t, "error behavior diverges: before " +
+                             (before.ok() ? std::string("succeeds")
+                                          : before.status().message()) +
+                             ", after " +
+                             (after.ok() ? std::string("succeeds")
+                                         : after.status().message()));
+    }
+    const Table& b = **before;
+    const Table& a = **after;
+    if (b.rows() != a.rows()) {
+      return SpotFail(t, "row counts diverge: before " +
+                             std::to_string(b.rows()) + ", after " +
+                             std::to_string(a.rows()));
+    }
+    std::vector<std::string> brows(b.rows());
+    std::vector<std::string> arows(a.rows());
+    for (size_t r = 0; r < b.rows(); ++r) {
+      for (const ColWitness& w : cols) {
+        brows[r] +=
+            SpotCell(b.at(w.before, r), *ctx->store, *ctx->strings) + '\x1f';
+        arows[r] +=
+            SpotCell(a.at(w.after, r), *ctx->store, *ctx->strings) + '\x1f';
+      }
+    }
+    if (t.rows_reordered) {
+      std::sort(brows.begin(), brows.end());
+      std::sort(arows.begin(), arows.end());
+    }
+    for (size_t r = 0; r < brows.size(); ++r) {
+      if (brows[r] != arows[r]) {
+        return SpotFail(t, "witnessed values diverge at row " +
+                               std::to_string(r) + ": before {" + brows[r] +
+                               "}, after {" + arows[r] + "}");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<QueryResult> Session::Execute(std::string_view query,
@@ -239,6 +389,20 @@ Result<QueryResult> Session::Execute(std::string_view query,
 
   result.plan_initial = CollectPlanStats(*plans.dag, plans.initial);
   result.plan_optimized = CollectPlanStats(*plans.dag, plans.optimized);
+
+  // Dynamic spot check: re-evaluate every committed rewrite's before and
+  // after sub-plans on a fresh, ungoverned context (no deadline, faults,
+  // or profile — those belong to the real run) and compare witnesses.
+  CertifySettings resolved_certify = ResolveCertify(options.certify);
+  if (resolved_certify.mode != CertifyMode::kOff && resolved_certify.spot_check) {
+    EvalContext sctx;
+    sctx.store = &store_;
+    sctx.strings = &strings_;
+    sctx.documents = documents_;
+    sctx.num_threads = 1;
+    EXRQUY_RETURN_IF_ERROR(SpotCheckCertificates(*plans.dag, plans.trades,
+                                                 resolved_certify, &sctx));
+  }
 
   EvalContext ctx;
   ctx.store = &store_;

@@ -61,6 +61,14 @@ struct QueryOptions {
   // rewrites and for the fuzz/equivalence suites.
   bool verify_each_pass = false;
 
+  // Rewrite certification (opt/certify.h): every rewrite instance emits
+  // a certificate an independent checker validates. kDefault resolves
+  // against EXRQUY_CERTIFY (unset -> check); kStrict fail-closes by
+  // keeping the old sub-plan for any unprovable certificate; spot_check
+  // additionally evaluates before/after sub-plans during Execute and
+  // compares the witnessed columns byte-for-byte.
+  CertifySettings certify;
+
   // Physical-plan order detection (orthogonal to the logical rewrites;
   // Section 6's pointer to combined order/grouping frameworks): % skips
   // its blocking sort when the input already arrives in the requested
@@ -119,8 +127,10 @@ struct QueryPlans {
   std::unique_ptr<Dag> dag;
   OpId initial = kNoOp;
   OpId optimized = kNoOp;
-  // Every % the rewrite passes eliminated, with the rule that fired and
-  // its justification (opt/rewrites.h).
+  // Every rewrite instance the passes performed, as certificates: the
+  // family, before/after roots, cited facts, column witnesses, and the
+  // checker's verdict (opt/rewrites.h, opt/certify.h). The legacy
+  // %-elimination trade log is the order_trade subset.
   std::vector<RewriteTrade> trades;
 };
 
@@ -160,6 +170,33 @@ struct OrderExplanation {
   std::string dot;               // provenance-annotated DOT dump
 };
 
+// Every rewrite instance of one planning run, with its certificate
+// verdict (xq --explain-rewrites): what fired, what it cited, whether
+// the independent checker could prove the obligation, and whether the
+// rewrite was committed (strict mode keeps the old sub-plan when the
+// certificate fails).
+struct RewriteExplanation {
+  struct Entry {
+    OpId from = kNoOp;
+    OpId to = kNoOp;
+    std::string rule;        // rewrite family, e.g. "join_recognition"
+    std::string detail;      // the rewrite's own justification
+    std::string label;       // rendering of the rewritten operator
+    std::string source;      // originating source expression, if recorded
+    std::vector<std::string> facts;  // cited facts, rendered
+    bool checked = false;    // a checker ran on the certificate
+    bool valid = false;      // ... and could prove the obligation
+    bool committed = true;   // the rewrite made it into the plan
+    std::string obligation;  // failed obligation (when checked && !valid)
+    std::string diagnostic;  // "certify: [<obligation>] ..." (same case)
+  };
+  std::vector<Entry> entries;  // in rewrite order
+  size_t emitted = 0;          // certificates emitted
+  size_t validated = 0;        // proven by the independent checker
+  size_t rejected = 0;         // unprovable (committed anyway unless strict)
+  std::string dot;             // certificate-annotated DOT dump
+};
+
 class Session {
  public:
   Session();
@@ -187,6 +224,11 @@ class Session {
   // sorts (xq --explain-order).
   Result<OrderExplanation> ExplainOrder(std::string_view query,
                                         const QueryOptions& options = {});
+
+  // Compiles and optimizes, then reports every rewrite instance with its
+  // certificate verdict (xq --explain-rewrites).
+  Result<RewriteExplanation> ExplainRewrites(std::string_view query,
+                                             const QueryOptions& options = {});
 
   NodeStore& store() { return store_; }
   StrPool& strings() { return strings_; }

@@ -31,6 +31,7 @@ double MsSince(Clock::time_point start) {
 size_t ResolveThreads(int requested) {
   int v = requested;
   if (v <= 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup at resolve
     if (const char* env = std::getenv("EXRQUY_THREADS")) v = std::atoi(env);
   }
   if (v <= 0) {

@@ -12,6 +12,7 @@ namespace {
 // with the variable named — a typo'd fault plan silently parsing to 0
 // (or to some prefix) would make an injection test pass vacuously.
 Result<uint64_t> StrictEnvU64(const char* name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup at resolve
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return uint64_t{0};
   if (v[0] == '-' || v[0] == '+') {
@@ -33,6 +34,7 @@ Result<uint64_t> StrictEnvU64(const char* name) {
 }
 
 Result<bool> StrictEnvBool(const char* name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup at resolve
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return false;
   std::string s(v);

@@ -1,0 +1,113 @@
+// Independent fact re-derivation, shared by the plan verifier
+// (opt/verify.h) and the rewrite-certificate checker (opt/certify.h).
+//
+// Everything in this module deliberately re-implements the transfer
+// rules of the optimizer's dataflow analyses (opt/analyses.h) instead of
+// sharing code with them: the audits built on top are only worth running
+// against a second, independent derivation. All derived sets are sound
+// under-approximations (a column listed as constant *is* constant in
+// every model), so an audit failure always means the *claim* was too
+// strong, never that the fact base was too weak to matter.
+#ifndef EXRQUY_OPT_FACTS_AUDIT_H_
+#define EXRQUY_OPT_FACTS_AUDIT_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "opt/analyses.h"
+
+namespace exrquy {
+
+// Independently derived facts about one operator's output, used to audit
+// the optimizer's property claims and rewrite certificates.
+struct OpFacts {
+  ColSet constant;    // every row holds the same value
+  ColSet arbitrary;   // relative order carries no semantic information
+  ColSet keys;        // no two rows share a value (row-identifying)
+  // Sound row-count bounds; at_most_one_row / no_rows are derived views
+  // (max_rows <= 1 / max_rows == 0) kept for claim-audit convenience.
+  uint64_t min_rows = 0;
+  uint64_t max_rows = kUnboundedRows;
+  bool at_most_one_row = false;
+  bool no_rows = false;  // statically empty (e.g. a 0-row literal)
+  // Sound per-column item kinds (absent = no static knowledge, i.e.
+  // kAny): every value the column can hold belongs to the kind's
+  // OrderCompare class.
+  std::map<ColId, ItemKind> kinds;
+  // Sound sorted-prefix facts: the output rows are physically sorted
+  // (and, when strict, duplicate-free) the way each fact says.
+  std::vector<OrderFact> sorted;
+};
+
+// The derived kind of one column (kAny when nothing is known).
+ItemKind KindAt(const OpFacts& f, ColId c);
+
+// F logically implies G (sorted F's way forces sorted G's way).
+bool SortedImplies(const OrderFact& f, const OrderFact& g);
+
+// Whether the derived facts force `requested` to be realized already
+// (the order-dependency trade's licensing condition).
+bool SortedCovers(const OpFacts& f, const std::vector<SortKey>& requested);
+
+// Derives the facts of a single operator from its children's facts
+// (which must already be present in `facts`).
+OpFacts DeriveOpFacts(const Dag& dag, OpId id,
+                      const std::unordered_map<OpId, OpFacts>& facts);
+
+// Bottom-up derivation of OpFacts for every operator reachable from
+// `root`. Requires a structurally and schema-wise valid plan.
+std::unordered_map<OpId, OpFacts> DeriveFacts(const Dag& dag, OpId root);
+
+// Join-graph isolation: which columns carry iteration/order scaffolding
+// (loop-lifting iter/pos columns, % and # results) rather than item
+// values. Re-derived forward from the column sources, independently of
+// the join-recognition rewrite whose claims it audits. Deliberately
+// over-approximated — a column touched by any scaffolding source counts
+// as scaffolding, so over-approximation can only reject a plan, never
+// admit a bad one. `order` must list the operators bottom-up (ascending
+// ids, as ReachableFrom produces).
+std::unordered_map<OpId, ColSet> DeriveScaffolding(
+    const Dag& dag, const std::vector<OpId>& order);
+
+// The pre-framework one-shot liveness walk, preserved verbatim as the
+// independent reference for auditing the dataflow-framework ComputeICols:
+// parents first in reverse topological (descending id) order, one
+// transfer each.
+std::unordered_map<OpId, ColSet> DeriveLiveColumns(const Dag& dag, OpId root,
+                                                   const ColSet& seed);
+
+std::string ColSetToString(const ColSet& cols);
+
+// Lazy, memoized view of the audit fact base over a growing DAG. The
+// rewrite-certificate checker derives facts on demand — both for
+// operators of the pre-pass plan and for replacements appended during
+// the pass (children always carry smaller ids, so a bottom-up sweep of
+// the reachable region is well-defined at any point).
+class FactsAudit {
+ public:
+  explicit FactsAudit(const Dag* dag) : dag_(dag) {}
+
+  // Facts for `id`, deriving (and caching) the reachable region first.
+  const OpFacts& Get(OpId id);
+
+  // Scaffolding column set for `id` (see DeriveScaffolding).
+  const ColSet& Scaffolding(OpId id);
+
+  // Whether evaluating the sub-plan rooted at `id` can raise a dynamic
+  // error. An independent re-derivation of the error-capability
+  // analysis, using the audit's own row bounds instead of CardTracker's.
+  bool MayRaise(OpId id);
+
+ private:
+  const Dag* dag_;
+  std::unordered_map<OpId, OpFacts> facts_;
+  std::unordered_map<OpId, ColSet> scaff_;
+  std::unordered_map<OpId, char> raise_;
+};
+
+}  // namespace exrquy
+
+#endif  // EXRQUY_OPT_FACTS_AUDIT_H_

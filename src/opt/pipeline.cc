@@ -41,8 +41,10 @@ Status VerifyFailure(const Dag& dag, OpId bad_root,
 
 // The combined pass broke an invariant: replay it from `before` one
 // rewrite family at a time and blame the first one whose output fails to
-// verify. Falls back to blaming the combined pass if each family is
-// individually clean (an interaction bug).
+// verify — naming the failed certificate obligation when the replayed
+// family's own certificates cannot be proven either. Falls back to
+// blaming the combined pass if each family is individually clean (an
+// interaction bug).
 Status AttributeFailure(Dag* dag, OpId before, const OptimizeOptions& options,
                         int pass, OpId combined_root,
                         const Status& combined_diag) {
@@ -52,12 +54,23 @@ Status AttributeFailure(Dag* dag, OpId before, const OptimizeOptions& options,
     RewriteOptions solo;
     for (const NamedRewrite& off : kNamedRewrites) solo.*(off.flag) = false;
     solo.*(r.flag) = true;
+    // Replay in plain checking mode: strict would reject (and so mask)
+    // the very rewrite being hunted, and a test-only forced rejection
+    // would misattribute it.
+    solo.certify.mode = CertifyMode::kCheck;
     bool changed = false;
-    current = RewriteOnce(dag, current, solo, &changed);
+    std::vector<RewriteTrade> replay;
+    current = RewriteOnce(dag, current, solo, &changed, &replay);
     Status diag = VerifyPlan(*dag, current);
     if (!diag.ok()) {
-      return VerifyFailure(*dag, current, options, pass,
-                           "rewrite '" + std::string(r.name) + "'", diag);
+      std::string stage = "rewrite '" + std::string(r.name) + "'";
+      for (const RewriteTrade& t : replay) {
+        if (t.checked && !t.valid) {
+          stage += "\nfailed obligation: " + t.diagnostic;
+          break;
+        }
+      }
+      return VerifyFailure(*dag, current, options, pass, stage, diag);
     }
   }
   return VerifyFailure(*dag, combined_root, options, pass,

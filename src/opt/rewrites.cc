@@ -1,9 +1,12 @@
 #include "opt/rewrites.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
+#include "common/symbols.h"
 #include "opt/analyses.h"
 #include "opt/join_plan.h"
 
@@ -17,6 +20,7 @@ class Rewriter {
       : dag_(dag),
         options_(options),
         trades_(trades),
+        certify_(ResolveCertify(options.certify)),
         props_(dag),
         cards_(dag),
         keys_(dag, &cards_),
@@ -29,6 +33,10 @@ class Rewriter {
                           {col::iter(), col::pos(), col::item()});
     if (options_.join_recognition) {
       join_specs_ = RecognizeJoins(*dag_, root);
+    }
+    if (certify_.mode != CertifyMode::kOff) {
+      checker_ = std::make_unique<CertifyChecker>(
+          dag_, root, certify_.force_reject_rule);
     }
     *changed = false;
     for (OpId id : dag_->ReachableFrom(root)) {
@@ -50,11 +58,34 @@ class Rewriter {
 
   const ColSet& Required(OpId old_id) { return icols_[old_id]; }
 
-  // Records a % elimination with its justification for --explain-order.
-  OpId Trade(OpId from, OpId to, const char* rule, std::string detail) {
-    if (trades_ != nullptr) {
-      trades_->push_back({from, to, rule, std::move(detail)});
+  // Starts a certificate for one rewrite instance, with the default
+  // column witness: every column the original and the replacement both
+  // produce must correspond exactly, row for row.
+  RewriteCertificate Cert(OpId from, OpId to, const char* rule,
+                          std::string detail, bool order_trade = false) {
+    RewriteCertificate cert;
+    cert.from = from;
+    cert.to = to;
+    cert.rule = rule;
+    cert.detail = std::move(detail);
+    cert.order_trade = order_trade;
+    const Op& f = dag_->op(from);
+    for (ColId c : dag_->op(to).schema) {
+      if (f.HasCol(c)) cert.witness.push_back({c, c, true});
     }
+    return cert;
+  }
+
+  // Validates (unless certification is off), records, and commits the
+  // certificate: returns the replacement, or kNoOp when strict mode
+  // rejects an unprovable certificate (the caller keeps the old
+  // sub-plan).
+  OpId Attempt(RewriteCertificate cert) {
+    if (checker_ != nullptr) checker_->Check(&cert);
+    bool rejected = certify_.mode == CertifyMode::kStrict &&
+                    cert.checked && !cert.valid;
+    OpId to = rejected ? kNoOp : cert.to;
+    if (trades_ != nullptr) trades_->push_back(std::move(cert));
     return to;
   }
 
@@ -139,6 +170,47 @@ class Rewriter {
            sa.test.name != sb.test.name;
   }
 
+  // The recognized value-join anchor rewrite: replace the whole EBV-
+  // over-product-space region with a join on the compared item values.
+  // Returns kNoOp when no join is emitted (or strict certification
+  // rejects it).
+  OpId TryJoin(OpId id, const JoinSpec& spec) {
+    std::string detail;
+    OpId repl = EmitJoin(dag_, spec, map_.at(spec.outer_items), options_,
+                         &sem_, &cards_, &detail);
+    if (repl == kNoOp) return kNoOp;
+    RewriteCertificate cert = Cert(id, repl, "join_recognition",
+                                   std::move(detail), /*order_trade=*/true);
+    // The join re-rooting enumerates survivors in join order, not the
+    // product space's iteration order.
+    cert.rows_reordered = true;
+    // An arbitrary-# return numbering produces legitimately different
+    // rank values; exclude it from the exact-value witness.
+    const Op& ra = dag_->op(repl);
+    if (ra.kind == OpKind::kProject && !ra.children.empty() &&
+        dag_->op(ra.children[0]).kind == OpKind::kRowId) {
+      for (ColWitness& w : cert.witness) {
+        if (w.after == col::pos()) w.exact = false;
+      }
+    }
+    // Cite isolation and kind-gate facts for every value join in the
+    // emitted region; the checker re-derives them and re-scans the
+    // region on its own.
+    for (OpId nid : dag_->ReachableFrom(repl)) {
+      const Op& j = dag_->op(nid);
+      bool theta = j.kind == OpKind::kThetaJoin;
+      bool value_equi = j.kind == OpKind::kEquiJoin && j.value_join;
+      if (!theta && !value_equi) continue;
+      cert.cited.push_back(CiteScaffoldFree(j.children[0], j.col));
+      cert.cited.push_back(CiteScaffoldFree(j.children[1], j.col2));
+      cert.cited.push_back(CiteKindClass(
+          j.children[0], j.col, sem_.Get(j.children[0]).KindOf(j.col)));
+      cert.cited.push_back(CiteKindClass(
+          j.children[1], j.col2, sem_.Get(j.children[1]).KindOf(j.col2)));
+    }
+    return Attempt(std::move(cert));
+  }
+
   OpId RewriteOp(OpId id) {
     const Op& op = dag_->op(id);
     const ColSet& required = Required(id);
@@ -148,7 +220,14 @@ class Rewriter {
     // never raises, so collapsing would change error semantics).
     if (options_.empty_short_circuit && op.kind != OpKind::kLit &&
         cards_.Get(id).max == 0 && !raise_.Get(id)) {
-      return dag_->Empty(op.schema);
+      RewriteCertificate cert =
+          Cert(id, dag_->Empty(op.schema), "empty_short_circuit",
+               "the sub-plan provably produces no rows and can never "
+               "raise: it is the empty literal");
+      cert.cited.push_back(CiteInterval(id, 0, 0));
+      cert.cited.push_back(CiteNoRaise(id));
+      OpId r = Attempt(std::move(cert));
+      if (r != kNoOp) return r;
     }
 
     switch (op.kind) {
@@ -157,25 +236,38 @@ class Rewriter {
         return id;
 
       case OpKind::kProject: {
-        // A recognized value-join anchor: replace the whole EBV-over-
-        // product-space region with a join on the compared item values.
         if (auto jit = join_specs_.find(id); jit != join_specs_.end()) {
-          std::string detail;
-          OpId repl = EmitJoin(dag_, jit->second,
-                               map_.at(jit->second.outer_items), options_,
-                               &sem_, &cards_, &detail);
-          if (repl != kNoOp) {
-            return Trade(id, repl, "join_recognition", std::move(detail));
-          }
+          OpId repl = TryJoin(id, jit->second);
+          if (repl != kNoOp) return repl;
         }
         std::vector<std::pair<ColId, ColId>> proj;
+        std::vector<ColId> dropped;
         for (const auto& [n, o] : op.proj) {
           if (!options_.column_pruning || required.count(n) != 0) {
             proj.emplace_back(n, o);
+          } else {
+            dropped.push_back(n);
           }
         }
         if (proj.empty() && !op.proj.empty()) {
           proj.push_back(op.proj.front());  // keep the table's row count
+          dropped.erase(std::remove(dropped.begin(), dropped.end(),
+                                    op.proj.front().first),
+                        dropped.end());
+        }
+        if (!dropped.empty()) {
+          RewriteCertificate cert =
+              Cert(id, ProjectSimplified(Child(op, 0), proj),
+                   "column_pruning",
+                   std::to_string(dropped.size()) +
+                       " projection column(s) no consumer demands");
+          for (ColId c : dropped) {
+            cert.cited.push_back(CiteDeadColumn(id, c));
+          }
+          OpId r = Attempt(std::move(cert));
+          if (r != kNoOp) return r;
+          std::vector<std::pair<ColId, ColId>> full(op.proj);
+          return ProjectSimplified(Child(op, 0), std::move(full));
         }
         return ProjectSimplified(Child(op, 0), std::move(proj));
       }
@@ -210,8 +302,23 @@ class Rewriter {
             }
             return true;
           };
-          if (prunable(r)) return l;
-          if (prunable(l)) return r;
+          auto prune = [&](OpId keep, OpId lit) {
+            RewriteCertificate cert =
+                Cert(id, keep, "column_pruning",
+                     "one-row literal attaches no demanded column: the "
+                     "product is the identity");
+            for (ColId c : dag_->op(lit).schema) {
+              cert.cited.push_back(CiteDeadColumn(id, c));
+            }
+            return Attempt(std::move(cert));
+          };
+          if (prunable(r)) {
+            OpId res = prune(l, r);
+            if (res != kNoOp) return res;
+          } else if (prunable(l)) {
+            OpId res = prune(r, l);
+            if (res != kNoOp) return res;
+          }
         }
         return dag_->Cross(l, r);
       }
@@ -228,10 +335,45 @@ class Rewriter {
         if (cols.empty()) {
           for (ColId c : op.schema) cols.insert(c);
         }
-        if (is_empty_lit(l)) return NarrowTo(r, cols);
-        if (is_empty_lit(r)) return NarrowTo(l, cols);
+        std::vector<ColId> narrowed_away;
+        for (ColId c : op.schema) {
+          if (cols.count(c) == 0) narrowed_away.push_back(c);
+        }
+        auto drop_branch = [&](OpId keep, OpId empty, const char* side) {
+          RewriteCertificate cert =
+              Cert(id, NarrowTo(keep, cols), "union_empty_branch",
+                   std::string("the ") + side +
+                       " branch is statically empty: the union is its "
+                       "other branch");
+          cert.cited.push_back(CiteInterval(empty, 0, 0));
+          for (ColId c : narrowed_away) {
+            cert.cited.push_back(CiteDeadColumn(id, c));
+          }
+          return Attempt(std::move(cert));
+        };
+        if (is_empty_lit(l)) {
+          OpId res = drop_branch(r, l, "left");
+          if (res != kNoOp) return res;
+        } else if (is_empty_lit(r)) {
+          OpId res = drop_branch(l, r, "right");
+          if (res != kNoOp) return res;
+        }
         // Narrow both branches to the required columns so their schemas
         // stay aligned after pruning below them.
+        if (!narrowed_away.empty()) {
+          RewriteCertificate cert =
+              Cert(id, dag_->Union(NarrowTo(l, cols), NarrowTo(r, cols)),
+                   "column_pruning",
+                   "union branches narrowed to the demanded columns");
+          for (ColId c : narrowed_away) {
+            cert.cited.push_back(CiteDeadColumn(id, c));
+          }
+          OpId res = Attempt(std::move(cert));
+          if (res != kNoOp) return res;
+          ColSet all;
+          for (ColId c : op.schema) all.insert(c);
+          return dag_->Union(NarrowTo(l, all), NarrowTo(r, all));
+        }
         return dag_->Union(NarrowTo(l, cols), NarrowTo(r, cols));
       }
 
@@ -262,15 +404,40 @@ class Rewriter {
             if (all_disjoint && leaves.size() >= 1) {
               // Steps are duplicate-free and pairwise disjoint: '|' has
               // become ','.
-              return c;
+              RewriteCertificate cert =
+                  Cert(id, c, "distinct_elimination",
+                       "the input is a union of pairwise-disjoint "
+                       "location steps: '|' has become ','");
+              for (OpId leaf : leaves) {
+                cert.cited.push_back(CiteStructural(leaf, "disjoint step"));
+              }
+              OpId res = Attempt(std::move(cert));
+              if (res != kNoOp) return res;
             }
           }
         }
         if (options_.distinct_by_keys) {
           // A duplicate-free column makes whole rows pairwise distinct,
           // and a single-row input trivially has no duplicates.
-          if (cards_.Get(c).max <= 1) return c;
-          if (!keys_.Get(c).empty()) return c;
+          if (cards_.Get(c).max <= 1) {
+            RewriteCertificate cert =
+                Cert(id, c, "distinct_by_keys",
+                     "the input has at most one row: no duplicates "
+                     "exist");
+            cert.cited.push_back(CiteInterval(c, 0, 1));
+            OpId res = Attempt(std::move(cert));
+            if (res != kNoOp) return res;
+          } else if (!keys_.Get(c).empty()) {
+            ColId k = *keys_.Get(c).begin();
+            RewriteCertificate cert =
+                Cert(id, c, "distinct_by_keys",
+                     "column '" + ColName(k) +
+                         "' is a key of the input: whole rows are "
+                         "pairwise distinct");
+            cert.cited.push_back(CiteKey(c, k));
+            OpId res = Attempt(std::move(cert));
+            if (res != kNoOp) return res;
+          }
         }
         return dag_->Distinct(c);
       }
@@ -278,7 +445,13 @@ class Rewriter {
       case OpKind::kRowNum: {
         OpId c = Child(op, 0);
         if (options_.column_pruning && required.count(op.col) == 0) {
-          return c;  // the rank is never consumed: drop the sort
+          RewriteCertificate cert =
+              Cert(id, c, "column_pruning",
+                   "the rank column is never consumed: the blocking "
+                   "sort is dead");
+          cert.cited.push_back(CiteDeadColumn(id, op.col));
+          OpId res = Attempt(std::move(cert));
+          if (res != kNoOp) return res;
         }
         if (options_.rownum_by_keys &&
             (cards_.Get(c).max <= 1 ||
@@ -286,38 +459,59 @@ class Rewriter {
           // Every partition holds at most one row (the partition column
           // is a key, or the input is a single row): each row ranks 1
           // and the blocking sort vanishes.
-          return Trade(
+          bool one_row = cards_.Get(c).max <= 1;
+          RewriteCertificate cert = Cert(
               id, dag_->AttachConst(c, op.col, Value::Int(1)),
               "keyed-partition",
-              cards_.Get(c).max <= 1
+              one_row
                   ? "the input has at most one row: every rank is 1"
                   : "partition column '" + ColName(op.part) +
                         "' is a key of the input: every partition holds "
-                        "one row and every rank is 1");
+                        "one row and every rank is 1",
+              /*order_trade=*/true);
+          if (one_row) {
+            cert.cited.push_back(CiteInterval(c, 0, 1));
+          } else {
+            cert.cited.push_back(CiteKey(c, op.part));
+          }
+          OpId res = Attempt(std::move(cert));
+          if (res != kNoOp) return res;
         }
         if (options_.rownum_by_od && op.part != kNoCol &&
             sem_.Get(c).unit_groups.count(op.part) != 0) {
           // Semantic typing proves the partition column duplicate-free
           // (a unit group, e.g. below fn:exactly-one): singleton groups
           // again, through a source the key domain cannot see.
-          return Trade(id, dag_->AttachConst(c, op.col, Value::Int(1)),
-                       "semantic-type",
-                       "partition column '" + ColName(op.part) +
-                           "' is duplicate-free by semantic typing (unit "
-                           "group): every rank is 1");
+          RewriteCertificate cert =
+              Cert(id, dag_->AttachConst(c, op.col, Value::Int(1)),
+                   "semantic-type",
+                   "partition column '" + ColName(op.part) +
+                       "' is duplicate-free by semantic typing (unit "
+                       "group): every rank is 1",
+                   /*order_trade=*/true);
+          cert.cited.push_back(CiteUnitGroup(c, op.part));
+          OpId res = Attempt(std::move(cert));
+          if (res != kNoOp) return res;
         }
         std::vector<SortKey> order = op.order;
         ColId part = op.part;
+        std::vector<ColId> dropped_criteria;
+        bool part_dropped = false;
         if (options_.weaken_rownum) {
           const ColProps& p = props_.Get(c);
           // Constant criteria carry no order information.
           order.erase(std::remove_if(order.begin(), order.end(),
                                      [&](const SortKey& k) {
-                                       return p.constant.count(k.col) != 0;
+                                       if (p.constant.count(k.col) != 0) {
+                                         dropped_criteria.push_back(k.col);
+                                         return true;
+                                       }
+                                       return false;
                                      }),
                       order.end());
           if (part != kNoCol && p.constant.count(part) != 0) {
             part = kNoCol;  // all rows in one group
+            part_dropped = true;
           }
           // Ordering led by an arbitrary-order column is arbitrary: with
           // no meaningful grouping left, % degenerates to # (Section 7).
@@ -325,10 +519,30 @@ class Rewriter {
               order.empty() ||
               p.arbitrary.count(order.front().col) != 0;
           if (arbitrary_order && part == kNoCol) {
-            return Trade(id, dag_->RowId(c, op.col), "arbitrary-order",
-                         "the sort criteria are constant or descend from "
-                         "arbitrary # numbering: any stable numbering "
-                         "satisfies them");
+            RewriteCertificate cert =
+                Cert(id, dag_->RowId(c, op.col), "arbitrary-order",
+                     "the sort criteria are constant or descend from "
+                     "arbitrary # numbering: any stable numbering "
+                     "satisfies them",
+                     /*order_trade=*/true);
+            for (ColId dc : dropped_criteria) {
+              cert.cited.push_back(CiteConstant(c, dc));
+            }
+            if (part_dropped) cert.cited.push_back(CiteConstant(c, op.part));
+            if (!order.empty()) {
+              cert.cited.push_back(CiteArbitrary(c, order.front().col));
+            }
+            if (cert.cited.empty()) {
+              cert.cited.push_back(
+                  CiteStructural(id, "no order or grouping criteria"));
+            }
+            // The arbitrary numbering's values legitimately differ from
+            // the original ranks.
+            for (ColWitness& w : cert.witness) {
+              if (w.after == op.col) w.exact = false;
+            }
+            OpId res = Attempt(std::move(cert));
+            if (res != kNoOp) return res;
           }
         }
         if (options_.rownum_by_od &&
@@ -340,14 +554,35 @@ class Rewriter {
           // 1..n in physical row order — exactly what a positional #
           // produces. The positional marking keeps the column out of the
           // arbitrary-order domain (its values remain order-bearing).
-          return Trade(
+          RewriteCertificate cert = Cert(
               id, dag_->RowId(c, op.col, /*positional=*/true),
               "order-dependency",
               "requested order " + OrderFact{order, false}.ToString() +
                   " is already realized by the input (sorted " +
                   od_.Get(c).ToString() +
                   "): the sort is the identity and the ranks are the row "
-                  "positions");
+                  "positions",
+              /*order_trade=*/true);
+          cert.cited.push_back(CiteSorted(c, op.order));
+          if (part != kNoCol) cert.cited.push_back(CiteConstant(c, part));
+          OpId res = Attempt(std::move(cert));
+          if (res != kNoOp) return res;
+        }
+        if (order.size() != op.order.size() || part != op.part) {
+          RewriteCertificate cert =
+              Cert(id, dag_->RowNum(c, op.col, order, part),
+                   "weaken_rownum",
+                   std::to_string(dropped_criteria.size() +
+                                  (part_dropped ? 1 : 0)) +
+                       " constant order/grouping criteria dropped");
+          for (ColId dc : dropped_criteria) {
+            cert.cited.push_back(CiteConstant(c, dc));
+          }
+          if (part_dropped) cert.cited.push_back(CiteConstant(c, op.part));
+          OpId res = Attempt(std::move(cert));
+          if (res != kNoOp) return res;
+          std::vector<SortKey> orig = op.order;
+          return dag_->RowNum(c, op.col, std::move(orig), op.part);
         }
         return dag_->RowNum(c, op.col, std::move(order), part);
       }
@@ -355,7 +590,13 @@ class Rewriter {
       case OpKind::kRowId: {
         OpId c = Child(op, 0);
         if (options_.column_pruning && required.count(op.col) == 0) {
-          return c;
+          RewriteCertificate cert =
+              Cert(id, c, "column_pruning",
+                   "the # column is never consumed: the numbering is "
+                   "dead");
+          cert.cited.push_back(CiteDeadColumn(id, op.col));
+          OpId res = Attempt(std::move(cert));
+          if (res != kNoOp) return res;
         }
         return dag_->RowId(c, op.col, op.positional);
       }
@@ -363,7 +604,13 @@ class Rewriter {
       case OpKind::kFun: {
         OpId c = Child(op, 0);
         if (options_.column_pruning && required.count(op.col) == 0) {
-          return c;
+          RewriteCertificate cert =
+              Cert(id, c, "column_pruning",
+                   "the ⊕ result column is never consumed: the "
+                   "computation is dead");
+          cert.cited.push_back(CiteDeadColumn(id, op.col));
+          OpId res = Attempt(std::move(cert));
+          if (res != kNoOp) return res;
         }
         return dag_->Fun(c, op.fun, op.col, op.args);
       }
@@ -384,17 +631,21 @@ class Rewriter {
           const Op& cs = dag_->op(c);
           if (cs.kind == OpKind::kStep &&
               cs.axis == Axis::kDescendantOrSelf &&
-              cs.test.kind == NodeTest::Kind::kAnyKind) {
-            if (op.axis == Axis::kChild) {
-              return dag_->Step(cs.children[0], Axis::kDescendant, op.test);
-            }
-            if (op.axis == Axis::kDescendant) {
-              return dag_->Step(cs.children[0], Axis::kDescendant, op.test);
-            }
-            if (op.axis == Axis::kDescendantOrSelf) {
-              return dag_->Step(cs.children[0], Axis::kDescendantOrSelf,
-                                op.test);
-            }
+              cs.test.kind == NodeTest::Kind::kAnyKind &&
+              (op.axis == Axis::kChild || op.axis == Axis::kDescendant ||
+               op.axis == Axis::kDescendantOrSelf)) {
+            Axis merged = op.axis == Axis::kDescendantOrSelf
+                              ? Axis::kDescendantOrSelf
+                              : Axis::kDescendant;
+            RewriteCertificate cert =
+                Cert(id, dag_->Step(cs.children[0], merged, op.test),
+                     "step_merging",
+                     "descendant-or-self::node() absorbed into the "
+                     "following step");
+            cert.cited.push_back(
+                CiteStructural(c, "descendant-or-self::node() step"));
+            OpId res = Attempt(std::move(cert));
+            if (res != kNoOp) return res;
           }
         }
         return dag_->Step(c, op.axis, op.test);
@@ -429,6 +680,8 @@ class Rewriter {
   Dag* dag_;
   const RewriteOptions& options_;
   std::vector<RewriteTrade>* trades_;
+  CertifySettings certify_;
+  std::unique_ptr<CertifyChecker> checker_;
   PropertyTracker props_;
   CardTracker cards_;
   KeyTracker keys_;      // depends on cards_

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "algebra/algebra.h"
+#include "opt/certify.h"
 
 namespace exrquy {
 
@@ -62,21 +63,23 @@ struct RewriteOptions {
   // Allow non-equality comparisons to become ThetaJoin operators; when
   // off, only hash-joinable equality predicates are recognized.
   bool theta_join = true;
+  // Rewrite certification (opt/certify.h). kOff emits bare trade
+  // records; kCheck validates every certificate and records the outcome;
+  // kStrict rejects any rewrite whose certificate fails its obligation
+  // and keeps the old sub-plan.
+  CertifySettings certify;
 };
 
-// One % elimination the rewriter performed, with its justification —
-// the attribution --explain-order surfaces next to the surviving sorts.
-struct RewriteTrade {
-  OpId from = kNoOp;   // the original % operator
-  OpId to = kNoOp;     // its replacement (#, positional #, or constant)
-  std::string rule;    // the rewrite family that fired
-  std::string detail;  // human-readable justification
-};
+// Every rewrite instance the pass performed is logged as a certificate —
+// the family, before/after roots, the cited facts, a column witness map,
+// and (unless certification is off) the checker's verdict. The legacy %-
+// elimination trade log is the order_trade subset of these entries.
+using RewriteTrade = RewriteCertificate;
 
 // One rewrite pass over the sub-DAG rooted at `root`; returns the new
 // root and sets *changed if the plan shrank or any operator changed.
-// When `trades` is non-null, every % the pass eliminated is appended
-// with the reason the elimination is sound.
+// When `trades` is non-null, every rewrite instance the pass performed
+// is appended with the reason it is sound (its certificate).
 OpId RewriteOnce(Dag* dag, OpId root, const RewriteOptions& options,
                  bool* changed, std::vector<RewriteTrade>* trades = nullptr);
 

@@ -44,13 +44,13 @@
 #ifndef EXRQUY_OPT_VERIFY_H_
 #define EXRQUY_OPT_VERIFY_H_
 
-#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "algebra/algebra.h"
 #include "common/status.h"
 #include "opt/analyses.h"
+#include "opt/facts_audit.h"
 
 namespace exrquy {
 
@@ -65,31 +65,9 @@ struct VerifyOptions {
   bool check_properties = true;
 };
 
-// Independently derived facts about one operator's output, used to audit
-// the optimizer's property claims. All sets are sound under-approximations
-// (a column listed as constant *is* constant in every model).
-struct OpFacts {
-  ColSet constant;    // every row holds the same value
-  ColSet arbitrary;   // relative order carries no semantic information
-  ColSet keys;        // no two rows share a value (row-identifying)
-  // Sound row-count bounds; at_most_one_row / no_rows are derived views
-  // (max_rows <= 1 / max_rows == 0) kept for claim-audit convenience.
-  uint64_t min_rows = 0;
-  uint64_t max_rows = kUnboundedRows;
-  bool at_most_one_row = false;
-  bool no_rows = false;  // statically empty (e.g. a 0-row literal)
-  // Sound per-column item kinds (absent = no static knowledge, i.e.
-  // kAny): every value the column can hold belongs to the kind's
-  // OrderCompare class.
-  std::map<ColId, ItemKind> kinds;
-  // Sound sorted-prefix facts: the output rows are physically sorted
-  // (and, when strict, duplicate-free) the way each fact says.
-  std::vector<OrderFact> sorted;
-};
-
-// Bottom-up derivation of OpFacts for every operator reachable from
-// `root`. Requires a structurally and schema-wise valid plan.
-std::unordered_map<OpId, OpFacts> DeriveFacts(const Dag& dag, OpId root);
+// The independently derived fact base (OpFacts, DeriveFacts and the
+// per-domain re-derivations) lives in opt/facts_audit.h, shared with the
+// rewrite-certificate checker (opt/certify.h).
 
 // Checks a set of claimed properties for `id` against independently
 // derived facts: every claimed column must exist in the operator's
