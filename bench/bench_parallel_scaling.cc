@@ -12,10 +12,17 @@
 //
 //   { "bench": "parallel_scaling",
 //     "scale": 0.016, "doc_bytes": N, "hardware_concurrency": N,
-//     "chunk_rows": 65536,
+//     "underprovisioned": bool,   // hardware_concurrency < max benched T
+//     "chunk_rows": 65536, "morsel_rows": N,
 //     "threads": [1, 2, 4, ...],
 //     "queries": [ {"name": "Q1", "ms": [t1, t2, t4, ...],
 //                   "speedup_vs_serial": [...]}, ... ] }
+//
+// When the machine has fewer hardware threads than the largest benched
+// configuration, the multi-thread columns measure scheduling overhead on
+// an oversubscribed core, not scaling — the JSON says so explicitly
+// ("underprovisioned": true) and a warning goes to stderr, instead of
+// silently publishing 0.4-1.0x "speedups".
 //
 // EXRQUY_BENCH_SCALE overrides the document scale factor.
 #include <cstdio>
@@ -35,6 +42,16 @@ void Run() {
   if (hw == 0) hw = 1;
   std::vector<int> threads = {1, 2, 4};
   if (hw > 4) threads.push_back(static_cast<int>(hw));
+
+  int max_threads = threads.back();
+  bool underprovisioned = hw < static_cast<size_t>(max_threads);
+  if (underprovisioned) {
+    std::fprintf(stderr,
+                 "warning: hardware_concurrency (%zu) < max benched thread "
+                 "count (%d); multi-thread columns measure oversubscription "
+                 "overhead, not scaling\n",
+                 hw, max_threads);
+  }
 
   std::printf(
       "Parallel scaling — XMark, %.3f scale (%zu KB), hardware threads: "
@@ -88,12 +105,15 @@ void Run() {
     std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
     std::exit(1);
   }
+  // The engine defaults morsel_rows to chunk_rows; we bench defaults.
   std::fprintf(out,
                "{\n  \"bench\": \"parallel_scaling\",\n"
                "  \"scale\": %g,\n  \"doc_bytes\": %zu,\n"
                "  \"hardware_concurrency\": %zu,\n"
-               "  \"chunk_rows\": 65536,\n  \"threads\": [",
-               scale, doc_bytes, hw);
+               "  \"underprovisioned\": %s,\n"
+               "  \"chunk_rows\": 65536,\n  \"morsel_rows\": 65536,\n"
+               "  \"threads\": [",
+               scale, doc_bytes, hw, underprovisioned ? "true" : "false");
   for (size_t i = 0; i < threads.size(); ++i) {
     std::fprintf(out, "%s%d", i ? ", " : "", threads[i]);
   }

@@ -41,6 +41,21 @@ size_t ResolveThreads(int requested) {
   return static_cast<size_t>(std::min(v, 256));
 }
 
+// Resolves EvalContext::morsel_rows: explicit > EXRQUY_MORSEL_ROWS >
+// chunk_rows. A pure function of configuration — never of the thread
+// count — so morsel boundaries are too.
+size_t ResolveMorselRows(size_t requested, size_t chunk_rows) {
+  size_t v = requested;
+  if (v == 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup at resolve
+    if (const char* env = std::getenv("EXRQUY_MORSEL_ROWS")) {
+      long parsed = std::atol(env);
+      if (parsed > 0) v = static_cast<size_t>(parsed);
+    }
+  }
+  return v == 0 ? chunk_rows : v;
+}
+
 // Node constructors append to the NodeStore; NodeIdx values are allocation
 // -ordered, so these operators must run in the same order as the serial
 // engine (ascending op id) for results to be byte-identical.
@@ -168,6 +183,27 @@ std::vector<uint32_t> ConcatChunks(
   return rows;
 }
 
+// Shares the column pointer when the range covers the whole table,
+// slices otherwise — pipeline stages touch only their morsel's rows.
+ColumnPtr SliceOrShare(const Table& t, ColId c, size_t b, size_t e) {
+  if (b == 0 && e == t.rows()) return t.col_ptr(c);
+  const Column& src = t.col(c);
+  return std::make_shared<const Column>(
+      src.begin() + static_cast<ptrdiff_t>(b),
+      src.begin() + static_cast<ptrdiff_t>(e));
+}
+
+// One morsel's result, parked until the sink's ordered merge. Slots are
+// disjoint across morsel tasks, so no locking.
+struct MorselOut {
+  std::shared_ptr<Table> table;       // non-Step sinks
+  std::vector<int64_t> step_iters;    // Step sinks (merged, sorted, deduped
+  std::vector<NodeIdx> step_nodes;    // by the sink, like chunked EvalStep)
+  int err_stage = -1;                 // first failing stage in this morsel
+  Status err;
+  size_t bytes = 0;                   // ledger charge for `table`
+};
+
 constexpr size_t kNoSlot = static_cast<size_t>(-1);
 
 }  // namespace
@@ -215,7 +251,9 @@ Evaluator::Evaluator(const Dag& dag, EvalContext* ctx)
     : dag_(dag),
       ctx_(ctx),
       ops_(ctx->strings, ctx->store),
-      chunk_rows_(std::max<size_t>(1, ctx->chunk_rows)) {}
+      chunk_rows_(std::max<size_t>(1, ctx->chunk_rows)),
+      morsel_rows_(ResolveMorselRows(ctx->morsel_rows, chunk_rows_)),
+      inline_rows_(ctx->inline_rows) {}
 
 // ---------------------------------------------------------------------------
 // Governor polls. All cooperative: kernels are never interrupted, they
@@ -282,6 +320,14 @@ Result<TablePtr> Evaluator::Eval(OpId root) {
   EXRQUY_RETURN_IF_ERROR(PollGovernor());
 
   std::vector<OpId> order = dag_.ReachableFrom(root);
+  if (ctx_->pipelined_execution) {
+    // Plan the fusable chains, then refuse to run any plan the audit
+    // cannot independently re-derive — a planner bug must fail as a
+    // Status, never as a wrong (or torn) result.
+    mplan_ = PlanPipelines(dag_, order, root);
+    EXRQUY_RETURN_IF_ERROR(AuditMorselPlan(dag_, order, root, mplan_));
+    pipelined_ = !mplan_.pipelines.empty();
+  }
   size_t threads = ResolveThreads(ctx_->num_threads);
   if (ctx_->profile != nullptr) {
     ctx_->profile->SetExecution(threads, ctx_->release_intermediates);
@@ -318,7 +364,8 @@ void Evaluator::TrackTable(const Table& t) {
       if (ctx_->budget != nullptr) ctx_->budget->Charge(bytes);
     }
   }
-  peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes_);
+  peak_live_bytes_ =
+      std::max(peak_live_bytes_, live_bytes_ + morsel_live_bytes_);
 }
 
 void Evaluator::UntrackTable(const Table& t) {
@@ -334,6 +381,26 @@ void Evaluator::UntrackTable(const Table& t) {
   }
 }
 
+// Morsel parts awaiting their pipeline's merge are live memory like any
+// memoized table: they count against the budget (the charge count is a
+// pure function of the data, so fail_alloc sweeps stay replayable) and
+// into the peak alongside the memo tracker's live_bytes_.
+void Evaluator::ChargeMorsel(size_t bytes) {
+  if (bytes == 0) return;
+  if (ctx_->budget != nullptr) ctx_->budget->Charge(bytes);
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  morsel_live_bytes_ += bytes;
+  peak_live_bytes_ =
+      std::max(peak_live_bytes_, live_bytes_ + morsel_live_bytes_);
+}
+
+void Evaluator::ReleaseMorsel(size_t bytes) {
+  if (bytes == 0) return;
+  if (ctx_->budget != nullptr) ctx_->budget->Release(bytes);
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  morsel_live_bytes_ -= bytes;
+}
+
 Result<TablePtr> Evaluator::EvalSerial(const std::vector<OpId>& order,
                                        OpId root) {
   // Bottom-up over the reachable sub-DAG: each operator evaluated once,
@@ -343,9 +410,62 @@ Result<TablePtr> Evaluator::EvalSerial(const std::vector<OpId>& order,
   const bool release = ctx_->release_intermediates;
   if (release) consumers = ConsumerCounts(dag_, root);
 
+  // Releases `c`'s table once its last consumer has run. In-pipe edges
+  // have no memo entry (interior stages never materialize) — their
+  // counter still reaches zero here, with nothing to free.
+  auto release_child = [&](OpId c) {
+    auto it = consumers.find(c);
+    if (it != consumers.end() && --it->second == 0) {
+      auto mit = memo.find(c);
+      if (mit != memo.end()) {
+        UntrackTable(*mit->second);
+        memo.erase(mit);
+        ++released_tables_;
+      }
+    }
+  };
+
   for (OpId id : order) {
+    // Interior pipeline stages run fused inside their sink's unit; they
+    // are skipped here (and in the parallel scheduler) so the PollOp
+    // dispatch count is the number of scheduled units in both modes.
+    if (pipelined_ && mplan_.interior(id)) continue;
     EXRQUY_RETURN_IF_ERROR(PollOp());
     const Op& op = dag_.op(id);
+
+    if (pipelined_ && mplan_.sink(id)) {
+      uint32_t pidx = mplan_.pipeline_of.at(id);
+      const Pipeline& pl = mplan_.pipelines[pidx];
+      auto input = [&](OpId c) -> const TablePtr& { return memo.at(c); };
+      const bool prof = ctx_->profile != nullptr;
+      std::vector<Profile::OpMetrics> sm;
+      Profile::PipelineMetrics pm;
+      Clock::time_point start = Clock::now();
+      Result<TablePtr> r =
+          EvalPipeline(pidx, input, prof ? &sm : nullptr, prof ? &pm : nullptr);
+      double ms = MsSince(start);
+      if (r.ok() && tripped_.load(std::memory_order_acquire)) {
+        r = TripStatus();
+      }
+      if (!r.ok()) return r.status();
+      TablePtr t = std::move(r).value();
+      if (prof) {
+        for (Profile::OpMetrics& m : sm) {
+          ctx_->profile->Record(dag_.op(m.op), std::move(m));
+        }
+        pm.ms = ms;
+        ctx_->profile->RecordPipeline(pm);
+      }
+      TrackTable(*t);
+      memo[id] = std::move(t);
+      if (release) {
+        for (const PipelineStage& st : pl.stages) {
+          for (OpId c : dag_.op(st.op).children) release_child(c);
+        }
+      }
+      continue;
+    }
+
     std::vector<TablePtr> in;
     in.reserve(op.children.size());
     size_t in_rows = 0;
@@ -379,15 +499,7 @@ Result<TablePtr> Evaluator::EvalSerial(const std::vector<OpId>& order,
     memo[id] = std::move(t);
     if (release) {
       in.clear();  // drop the extra references before releasing
-      for (OpId c : op.children) {
-        auto it = consumers.find(c);
-        if (it != consumers.end() && --it->second == 0) {
-          auto mit = memo.find(c);
-          UntrackTable(*mit->second);
-          memo.erase(mit);
-          ++released_tables_;
-        }
-      }
+      for (OpId c : op.children) release_child(c);
     }
   }
   return memo.at(root);
@@ -437,10 +549,19 @@ Result<TablePtr> Evaluator::EvalParallel(const std::vector<OpId>& order,
   pool_ = std::make_unique<TaskPool>(threads);
   Sched* sp = &s;
   Clock::time_point t0 = Clock::now();
+  // Inline-eligible ready units run on this thread after the pooled ones
+  // are queued; with a tiny query, nothing is ever queued and the lazy
+  // pool never spawns a worker.
+  std::vector<size_t> run_here;
   for (size_t i : ready) {
     s.ready_at[i] = t0;
-    pool_->Submit([this, sp, i] { RunTask(sp, i); });
+    if (ShouldInline(sp, i)) {
+      run_here.push_back(i);
+    } else {
+      pool_->Submit([this, sp, i] { RunTask(sp, i, /*queued=*/true); });
+    }
   }
+  for (size_t i : run_here) RunTask(sp, i, /*queued=*/false);
   {
     std::unique_lock<std::mutex> lock(s.done_mu);
     s.done_cv.wait(lock, [&] { return s.remaining == 0; });
@@ -455,10 +576,32 @@ Result<TablePtr> Evaluator::EvalParallel(const std::vector<OpId>& order,
   return s.memo[s.slot.at(root)];
 }
 
-void Evaluator::RunTask(Sched* s, size_t i) {
+void Evaluator::RunTask(Sched* s, size_t i, bool queued) {
+  // Drain loop: RunOne collects units its completion made ready and
+  // inline-eligible; running them here (instead of recursing out of
+  // DecrementPending) bounds the stack on long inline chains. Only the
+  // unit that actually sat in the pool queue charges queue wait.
+  std::vector<size_t> q;
+  RunOne(s, i, queued, &q);
+  while (!q.empty()) {
+    size_t next = q.back();
+    q.pop_back();
+    RunOne(s, next, /*queued=*/false, &q);
+  }
+}
+
+void Evaluator::RunOne(Sched* s, size_t i, bool queued,
+                       std::vector<size_t>* q) {
+  // Interior pipeline stages never run as units — their work happens
+  // fused inside the sink's morsel loop; completing them here only
+  // propagates readiness (no poll, no release, no memo entry).
+  if (pipelined_ && mplan_.interior(s->ids[i])) {
+    FinishTask(s, i, q);
+    return;
+  }
   const Op& op = *s->ops[i];
   if (s->cancelled.load(std::memory_order_acquire)) {
-    FinishTask(s, i);
+    FinishTask(s, i, q);
     return;
   }
   if (Status g = PollOp(); !g.ok()) {
@@ -466,7 +609,11 @@ void Evaluator::RunTask(Sched* s, size_t i) {
     // counts still reach zero, intermediates still release. The final
     // status comes from the trip latch, not from s->err.
     s->cancelled.store(true, std::memory_order_release);
-    FinishTask(s, i);
+    FinishTask(s, i, q);
+    return;
+  }
+  if (pipelined_ && mplan_.sink(s->ids[i])) {
+    RunPipelineUnit(s, i, queued, q);
     return;
   }
   std::vector<TablePtr> in;
@@ -477,7 +624,7 @@ void Evaluator::RunTask(Sched* s, size_t i) {
     in.push_back(t);
     in_rows += t->rows();
   }
-  double queue_ms = MsSince(s->ready_at[i]);
+  double queue_ms = queued ? MsSince(s->ready_at[i]) : 0;
   size_t chunks = 1;
   tls_chunks = &chunks;
   Clock::time_point start = Clock::now();
@@ -524,37 +671,614 @@ void Evaluator::RunTask(Sched* s, size_t i) {
     }
     s->memo[i] = std::move(t);  // published by the pending decrements below
   }
-  FinishTask(s, i);
+  FinishTask(s, i, q);
 }
 
-void Evaluator::FinishTask(Sched* s, size_t i) {
-  const Op& op = *s->ops[i];
-  if (s->release) {
-    for (OpId c : op.children) {
-      size_t cs = s->slot.at(c);
-      if (s->consumers[cs].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        TablePtr dead = std::move(s->memo[cs]);
-        if (dead != nullptr) {
-          std::lock_guard<std::mutex> lock(profile_mu_);
-          UntrackTable(*dead);
-          ++released_tables_;
-        }
+void Evaluator::RunPipelineUnit(Sched* s, size_t i, bool queued,
+                                std::vector<size_t>* q) {
+  uint32_t pidx = mplan_.pipeline_of.at(s->ids[i]);
+  double queue_ms = queued ? MsSince(s->ready_at[i]) : 0;
+  auto input = [s](OpId c) -> const TablePtr& {
+    return s->memo[s->slot.at(c)];
+  };
+  const bool prof = s->track;
+  std::vector<Profile::OpMetrics> sm;
+  Profile::PipelineMetrics pm;
+  Clock::time_point start = Clock::now();
+  Result<TablePtr> r = [&]() -> Result<TablePtr> {
+    // No fused stage constructs nodes, so the whole pipeline (and the
+    // morsel tasks it fans out, which its ParallelFor outlives) runs
+    // under a shared store hold, like any reading operator.
+    std::shared_lock<std::shared_mutex> lock(store_mu_);
+    return EvalPipeline(pidx, input, prof ? &sm : nullptr,
+                        prof ? &pm : nullptr);
+  }();
+  double ms = MsSince(start);
+
+  if (r.ok() && tripped_.load(std::memory_order_acquire)) {
+    r = TripStatus();
+  }
+  if (!r.ok()) {
+    // Errors resolve across units by unit id — for a pipeline, its sink's
+    // op id, the id the serial unit order dispatches it at. EvalPipeline
+    // already picked the serial-first error within the pipeline.
+    {
+      std::lock_guard<std::mutex> lock(s->err_mu);
+      if (s->err_op == kNoOp || s->ids[i] < s->err_op) {
+        s->err_op = s->ids[i];
+        s->err = r.status();
       }
     }
+    s->cancelled.store(true, std::memory_order_release);
+  } else {
+    TablePtr t = std::move(r).value();
+    {
+      std::lock_guard<std::mutex> lock(profile_mu_);
+      if (prof) {
+        for (Profile::OpMetrics& m : sm) {
+          ctx_->profile->Record(dag_.op(m.op), std::move(m));
+        }
+        pm.ms = ms;
+        pm.queue_ms = queue_ms;
+        ctx_->profile->RecordPipeline(pm);
+      }
+      TrackTable(*t);
+    }
+    s->memo[i] = std::move(t);
   }
-  if (s->ctor_next[i] != kNoSlot) DecrementPending(s, s->ctor_next[i]);
-  for (size_t p : s->parents[i]) DecrementPending(s, p);
+  FinishTask(s, i, q);
+}
+
+void Evaluator::FinishTask(Sched* s, size_t i, std::vector<size_t>* q) {
+  OpId id = s->ids[i];
+  const bool interior = pipelined_ && mplan_.interior(id);
+  if (s->release && !interior) {
+    // A sink releases every stage's inputs — the head's external tables
+    // were consumed by its morsel loop, not by any standalone unit.
+    // Interior completions must not release anything: their edges are
+    // accounted at the sink, after the pipeline actually read them.
+    if (pipelined_ && mplan_.sink(id)) {
+      const Pipeline& pl = mplan_.pipelines[mplan_.pipeline_of.at(id)];
+      for (const PipelineStage& st : pl.stages) {
+        ReleaseChildren(s, dag_.op(st.op));
+      }
+    } else {
+      ReleaseChildren(s, *s->ops[i]);
+    }
+  }
+  if (s->ctor_next[i] != kNoSlot) DecrementPending(s, s->ctor_next[i], q);
+  for (size_t p : s->parents[i]) DecrementPending(s, p, q);
   {
     std::lock_guard<std::mutex> lock(s->done_mu);
     if (--s->remaining == 0) s->done_cv.notify_all();
   }
 }
 
-void Evaluator::DecrementPending(Sched* s, size_t i) {
+void Evaluator::ReleaseChildren(Sched* s, const Op& op) {
+  for (OpId c : op.children) {
+    size_t cs = s->slot.at(c);
+    if (s->consumers[cs].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      TablePtr dead = std::move(s->memo[cs]);
+      // In-pipe edges (and drained-before-running producers) have no
+      // memoized table; their counter still hits zero with nothing to
+      // free.
+      if (dead != nullptr) {
+        std::lock_guard<std::mutex> lock(profile_mu_);
+        UntrackTable(*dead);
+        ++released_tables_;
+      }
+    }
+  }
+}
+
+void Evaluator::DecrementPending(Sched* s, size_t i, std::vector<size_t>* q) {
   if (s->pending[i].fetch_sub(1, std::memory_order_acq_rel) == 1) {
     s->ready_at[i] = Clock::now();
-    pool_->Submit([this, s, i] { RunTask(s, i); });
+    if (ShouldInline(s, i)) {
+      q->push_back(i);
+      return;
+    }
+    pool_->Submit([this, s, i] { RunTask(s, i, /*queued=*/true); });
   }
+}
+
+bool Evaluator::ShouldInline(Sched* s, size_t i) {
+  OpId id = s->ids[i];
+  // Interior completions are pure bookkeeping — never worth a task.
+  if (pipelined_ && mplan_.interior(id)) return true;
+  if (inline_rows_ == 0) return false;
+  size_t rows = 0;
+  auto add = [&](const Op& op) {
+    for (OpId c : op.children) {
+      const TablePtr& t = s->memo[s->slot.at(c)];
+      if (t != nullptr) rows += t->rows();
+    }
+  };
+  if (pipelined_ && mplan_.sink(id)) {
+    const Pipeline& pl = mplan_.pipelines[mplan_.pipeline_of.at(id)];
+    for (const PipelineStage& st : pl.stages) add(dag_.op(st.op));
+  } else {
+    add(*s->ops[i]);
+  }
+  return rows <= inline_rows_;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined execution: one scheduled unit runs a whole fused chain. The
+// head's materialized input rows are split into morsels — boundaries a
+// pure function of the source size and morsel_rows_, never the thread
+// count — and each morsel flows through every stage without
+// materializing interior tables. The sink concatenates morsel results
+// in morsel order (Step re-sorts/dedups, # numbers the merged stream),
+// which is exactly what the standalone chunked kernels produce, so the
+// fused table is byte-identical to operator-at-a-time evaluation.
+
+size_t Evaluator::NumMorsels(size_t n) const {
+  return n == 0 ? 1 : (n + morsel_rows_ - 1) / morsel_rows_;
+}
+
+Result<TablePtr> Evaluator::EvalPipeline(
+    uint32_t pidx, const std::function<const TablePtr&(OpId)>& input,
+    std::vector<Profile::OpMetrics>* stage_metrics,
+    Profile::PipelineMetrics* pm) {
+  const Pipeline& pl = mplan_.pipelines[pidx];
+  const size_t nstages = pl.stages.size();
+
+  // Resolve stage operators and their materialized (non-pipe) inputs.
+  std::vector<const Op*> sops(nstages);
+  std::vector<std::vector<TablePtr>> ext(nstages);
+  for (size_t si = 0; si < nstages; ++si) {
+    const PipelineStage& st = pl.stages[si];
+    sops[si] = &dag_.op(st.op);
+    const Op& op = *sops[si];
+    ext[si].resize(op.children.size());
+    for (size_t ci = 0; ci < op.children.size(); ++ci) {
+      if (si > 0 && static_cast<int>(ci) == st.pipe_child) continue;
+      ext[si][ci] = input(op.children[ci]);
+    }
+  }
+
+  // The head defines the morsel domain.
+  const Op& hop = *sops[0];
+  const Table* stream = nullptr;  // single-stream heads (and the probe side)
+  const Table* lT = nullptr;      // union / equi-join heads
+  const Table* rT = nullptr;
+  std::unique_ptr<RowIndex> jindex;  // equi-join build, done once up front
+  bool jbuild_right = false;
+  ColId jprobe_col = kNoCol;
+  size_t total = 0;
+  switch (hop.kind) {
+    case OpKind::kUnion:
+      lT = ext[0][0].get();
+      rT = ext[0][1].get();
+      total = lT->rows() + rT->rows();
+      break;
+    case OpKind::kEquiJoin: {
+      lT = ext[0][0].get();
+      rT = ext[0][1].get();
+      // Same runtime choice as the standalone kernel: build on the
+      // smaller side, probe with the larger (ties build right). The
+      // build is blocking work and happens here, before any morsel.
+      jbuild_right = rT->rows() <= lT->rows();
+      const Table* build = jbuild_right ? rT : lT;
+      stream = jbuild_right ? lT : rT;
+      ColId build_col = jbuild_right ? hop.col2 : hop.col;
+      jprobe_col = jbuild_right ? hop.col : hop.col2;
+      jindex = std::make_unique<RowIndex>(
+          std::vector<const Column*>{&build->col(build_col)}, build->rows(),
+          hop.value_join);
+      total = stream->rows();
+      break;
+    }
+    default:
+      stream = ext[0][0].get();
+      total = stream->rows();
+  }
+
+  const size_t morsels = NumMorsels(total);
+  const bool step_sink = sops[nstages - 1]->kind == OpKind::kStep;
+  std::vector<MorselOut> outs(morsels);
+  const bool prof = stage_metrics != nullptr;
+  // Per-(morsel, stage) measurements in disjoint slots; summed below.
+  std::vector<double> st_ms;
+  std::vector<size_t> st_in;
+  std::vector<size_t> st_out;
+  if (prof) {
+    st_ms.assign(morsels * nstages, 0);
+    st_in.assign(morsels * nstages, 0);
+    st_out.assign(morsels * nstages, 0);
+  }
+
+  auto equi_probe = [&](size_t b,
+                        size_t e) -> std::shared_ptr<Table> {
+    std::vector<const Column*> probe_key = {&stream->col(jprobe_col)};
+    std::vector<uint32_t> probe_rows;
+    std::vector<uint32_t> build_rows;
+    for (size_t pr = b; pr < e; ++pr) {
+      jindex->ForEachMatch(probe_key, pr, [&](uint32_t br) {
+        probe_rows.push_back(static_cast<uint32_t>(pr));
+        build_rows.push_back(br);
+      });
+    }
+    const std::vector<uint32_t>& l_rows =
+        jbuild_right ? probe_rows : build_rows;
+    const std::vector<uint32_t>& r_rows =
+        jbuild_right ? build_rows : probe_rows;
+    size_t out_n = probe_rows.size();
+    auto out = std::make_shared<Table>();
+    auto gather_side = [&](const Table& side,
+                           const std::vector<uint32_t>& rows) {
+      for (ColId c : side.schema()) {
+        const Column& src = side.col(c);
+        Column col(out_n);
+        for (size_t k = 0; k < out_n; ++k) col[k] = src[rows[k]];
+        out->AddColumn(c, std::move(col));
+      }
+    };
+    gather_side(*lT, l_rows);
+    gather_side(*rT, r_rows);
+    out->SetRows(out_n);
+    return out;
+  };
+
+  auto run_morsel = [&](size_t m) {
+    size_t mb = m * morsel_rows_;
+    size_t me = std::min(total, mb + morsel_rows_);
+    MorselOut& mo = outs[m];
+    std::shared_ptr<Table> cur;
+    for (size_t si = 0; si < nstages; ++si) {
+      // Morsel-stage boundary = the pipelined engine's chunk boundary:
+      // same poll, same fault-injection coordinate space.
+      if (!PollChunk().ok()) return;  // torn morsel; the trip latch wins
+      const Op& op = *sops[si];
+      const Table* in = si == 0 ? stream : cur.get();
+      size_t b = si == 0 ? mb : 0;
+      size_t e = si == 0 ? me : cur->rows();
+      Clock::time_point t0;
+      if (prof) t0 = Clock::now();
+      Result<std::shared_ptr<Table>> r =
+          [&]() -> Result<std::shared_ptr<Table>> {
+        switch (op.kind) {
+          case OpKind::kProject:
+            return StageProjectM(op, *in, b, e);
+          case OpKind::kSelect:
+            return StageSelectM(op, *in, b, e);
+          case OpKind::kFun:
+            return StageFunM(op, *in, b, e);
+          case OpKind::kUnion:
+            return StageUnionM(*lT, *rT, b, e);
+          case OpKind::kEquiJoin:
+            return equi_probe(b, e);
+          case OpKind::kThetaJoin:
+            return StageThetaM(op, *in, b, e, *ext[si][1]);
+          case OpKind::kStep: {
+            Status st =
+                StageStepM(op, *in, b, e, &mo.step_iters, &mo.step_nodes);
+            if (!st.ok()) return st;
+            return std::shared_ptr<Table>();
+          }
+          case OpKind::kRowId:
+            return cur;  // ids are positions in the merged output
+          default:
+            return Internal("morsel plan: unfusable stage kind survived "
+                            "the audit");
+        }
+      }();
+      if (!r.ok()) {
+        if (tripped_.load(std::memory_order_acquire)) return;
+        // First error within the morsel: the stage loop stops at the
+        // first failing stage, and each stage kernel fails on its first
+        // bad row — exactly the serial scan order.
+        mo.err_stage = static_cast<int>(si);
+        mo.err = r.status();
+        return;
+      }
+      cur = std::move(r).value();
+      if (prof) {
+        size_t slot = m * nstages + si;
+        st_ms[slot] = MsSince(t0);
+        if (si > 0) st_in[slot] = e - b;
+        st_out[slot] = step_sink && si + 1 == nstages ? mo.step_iters.size()
+                                                      : cur->rows();
+      }
+    }
+    if (!step_sink) {
+      mo.table = std::move(cur);
+      mo.bytes = mo.table->ByteSize();
+      ChargeMorsel(mo.bytes);
+    }
+  };
+
+  if (pool_ != nullptr && pool_->threads() > 0 && morsels > 1) {
+    pool_->ParallelFor(morsels, run_morsel);
+  } else {
+    for (size_t m = 0; m < morsels; ++m) run_morsel(m);
+  }
+  NoteChunks(morsels);
+
+  auto release_parts = [&] {
+    for (MorselOut& mo : outs) {
+      ReleaseMorsel(mo.bytes);
+      mo.bytes = 0;
+    }
+  };
+  if (tripped_.load(std::memory_order_acquire)) {
+    release_parts();
+    return TripStatus();
+  }
+  // Cross-morsel error resolution: the failing stage with the smallest
+  // op id, then the earliest morsel within it — the first error a serial
+  // stage-at-a-time scan would have hit.
+  int best_stage = -1;
+  size_t best_m = 0;
+  for (size_t m = 0; m < morsels; ++m) {
+    if (outs[m].err_stage < 0) continue;
+    if (best_stage < 0 || outs[m].err_stage < best_stage) {
+      best_stage = outs[m].err_stage;
+      best_m = m;
+    }
+  }
+  if (best_stage >= 0) {
+    release_parts();
+    return outs[best_m].err;
+  }
+
+  // Ordered morsel merge.
+  const Op& sop = *sops[nstages - 1];
+  TablePtr result;
+  if (step_sink) {
+    // Step output is the globally sorted duplicate-free (iter, node)
+    // set; concatenating the per-morsel sets, sorting and deduplicating
+    // reproduces the single-call result exactly (chunked EvalStep's own
+    // merge).
+    std::vector<std::pair<int64_t, NodeIdx>> all;
+    size_t n = 0;
+    for (const MorselOut& mo : outs) n += mo.step_iters.size();
+    all.reserve(n);
+    for (const MorselOut& mo : outs) {
+      for (size_t k = 0; k < mo.step_iters.size(); ++k) {
+        all.emplace_back(mo.step_iters[k], mo.step_nodes[k]);
+      }
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    Column ic(all.size());
+    Column nc(all.size());
+    for (size_t k = 0; k < all.size(); ++k) {
+      ic[k] = Value::Int(all[k].first);
+      nc[k] = Value::Node(all[k].second);
+    }
+    auto out = std::make_shared<Table>();
+    out->AddColumn(col::iter(), std::move(ic));
+    out->AddColumn(col::item(), std::move(nc));
+    out->SetRows(all.size());
+    result = out;
+  } else if (morsels == 1) {
+    result = outs[0].table;  // the single part IS the concatenation
+  } else {
+    // Concatenate in morsel order, column by column; each part drops its
+    // reference to a column as soon as it is copied, so the transient
+    // peak is the merged output plus one part column — not two full
+    // copies of the output.
+    size_t rows_total = 0;
+    for (const MorselOut& mo : outs) rows_total += mo.table->rows();
+    auto out = std::make_shared<Table>();
+    const std::vector<ColId> schema = outs[0].table->schema();
+    for (ColId c : schema) {
+      // The merge moves a lot of bytes: stay responsive to
+      // cancel/deadline, but do not advance the chunk-fault coordinate —
+      // merge granularity is an implementation detail, not a replayable
+      // fault point.
+      if (!PollGovernor().ok()) break;
+      Column col(rows_total);
+      size_t off = 0;
+      for (const MorselOut& mo : outs) {
+        const Column& src = mo.table->col(c);
+        std::copy(src.begin(), src.end(), col.begin() + off);
+        off += src.size();
+        mo.table->ReleaseColumn(c);
+      }
+      out->AddColumn(c, std::move(col));
+    }
+    out->SetRows(rows_total);
+    result = out;
+  }
+  release_parts();
+  if (tripped_.load(std::memory_order_acquire)) return TripStatus();
+
+  if (sop.kind == OpKind::kRowId) {
+    // # over the merged stream: positions in the concatenation-in-morsel-
+    // order equal positions in the standalone input, so the ids match the
+    // operator-at-a-time numbering exactly.
+    size_t n = result->rows();
+    Column ids(n);
+    for (size_t r = 0; r < n; ++r) {
+      ids[r] = Value::Int(static_cast<int64_t>(r) + 1);
+    }
+    auto out = std::make_shared<Table>();
+    for (ColId c : result->schema()) out->AddColumn(c, result->col_ptr(c));
+    out->AddColumn(sop.col, std::move(ids));
+    out->SetRows(n);
+    result = out;
+  }
+
+  if (prof) {
+    for (size_t si = 0; si < nstages; ++si) {
+      Profile::OpMetrics m;
+      m.op = pl.stages[si].op;
+      m.pipeline = static_cast<int64_t>(pidx);
+      m.chunks = morsels;
+      m.queue_ms = 0;  // queue wait belongs to the unit, counted once
+      double ms = 0;
+      size_t irows = 0;
+      size_t orows = 0;
+      for (size_t mm = 0; mm < morsels; ++mm) {
+        size_t slot = mm * nstages + si;
+        ms += st_ms[slot];
+        irows += st_in[slot];
+        orows += st_out[slot];
+      }
+      // Materialized (non-pipe) inputs count once, as standalone
+      // evaluation would; the streamed input was summed per morsel.
+      const Op& op = *sops[si];
+      for (size_t ci = 0; ci < op.children.size(); ++ci) {
+        if (ext[si][ci] != nullptr) irows += ext[si][ci]->rows();
+      }
+      m.ms = ms;
+      m.in_rows = irows;
+      m.out_rows = si + 1 == nstages ? result->rows() : orows;
+      stage_metrics->push_back(std::move(m));
+    }
+    pm->id = pidx;
+    pm->head = pl.head();
+    pm->sink = pl.sink();
+    pm->stages = nstages;
+    pm->morsels = morsels;
+    pm->in_rows = total;
+    pm->out_rows = result->rows();
+  }
+  return TablePtr(result);
+}
+
+std::shared_ptr<Table> Evaluator::StageProjectM(const Op& op, const Table& in,
+                                                size_t b, size_t e) {
+  auto out = std::make_shared<Table>();
+  for (const auto& [n, o] : op.proj) out->AddColumn(n, SliceOrShare(in, o, b, e));
+  out->SetRows(e - b);
+  return out;
+}
+
+Result<std::shared_ptr<Table>> Evaluator::StageSelectM(const Op& op,
+                                                       const Table& in,
+                                                       size_t b, size_t e) {
+  const Column& flags = in.col(op.col);
+  std::vector<uint32_t> rows;
+  for (size_t r = b; r < e; ++r) {
+    const Value& v = flags[r];
+    if (v.kind != ValueKind::kBool) {
+      return TypeError("selection column is not boolean");
+    }
+    if (v.b) rows.push_back(static_cast<uint32_t>(r));
+  }
+  auto out = std::make_shared<Table>();
+  for (ColId c : in.schema()) {
+    const Column& src = in.col(c);
+    Column col(rows.size());
+    for (size_t k = 0; k < rows.size(); ++k) col[k] = src[rows[k]];
+    out->AddColumn(c, std::move(col));
+  }
+  out->SetRows(rows.size());
+  return out;
+}
+
+Result<std::shared_ptr<Table>> Evaluator::StageFunM(const Op& op,
+                                                    const Table& in, size_t b,
+                                                    size_t e) {
+  std::vector<const Column*> args = ColPtrs(in, op.args);
+  Column resultc(e - b);
+  for (size_t r = b; r < e; ++r) {
+    Result<Value> v = ApplyFun(op, args, r);
+    if (!v.ok()) return v.status();
+    resultc[r - b] = std::move(v).value();
+  }
+  auto out = std::make_shared<Table>();
+  for (ColId c : in.schema()) out->AddColumn(c, SliceOrShare(in, c, b, e));
+  out->AddColumn(op.col, std::move(resultc));
+  out->SetRows(e - b);
+  return out;
+}
+
+std::shared_ptr<Table> Evaluator::StageUnionM(const Table& l, const Table& r,
+                                              size_t b, size_t e) {
+  // The morsel domain is the concatenation of both inputs; [b, e) may
+  // straddle the seam.
+  size_t nl = l.rows();
+  auto out = std::make_shared<Table>();
+  for (ColId c : l.schema()) {
+    Column col;
+    col.reserve(e - b);
+    if (b < nl) {
+      const Column& lc = l.col(c);
+      size_t hi = std::min(e, nl);
+      col.insert(col.end(), lc.begin() + static_cast<ptrdiff_t>(b),
+                 lc.begin() + static_cast<ptrdiff_t>(hi));
+    }
+    if (e > nl) {
+      const Column& rc = r.col(c);
+      size_t lo = b > nl ? b - nl : 0;
+      col.insert(col.end(), rc.begin() + static_cast<ptrdiff_t>(lo),
+                 rc.begin() + static_cast<ptrdiff_t>(e - nl));
+    }
+    out->AddColumn(c, std::move(col));
+  }
+  out->SetRows(e - b);
+  return out;
+}
+
+Result<std::shared_ptr<Table>> Evaluator::StageThetaM(const Op& op,
+                                                      const Table& in,
+                                                      size_t b, size_t e,
+                                                      const Table& right) {
+  // Nested loop over [b, e) x right, left-major with matches in
+  // right-row order — the standalone kernel's chunk body.
+  const Column& lk = in.col(op.col);
+  const Column& rk = right.col(op.col2);
+  size_t m = right.rows();
+  std::vector<uint32_t> l_rows;
+  std::vector<uint32_t> r_rows;
+  size_t pairs = 0;
+  for (size_t i = b; i < e; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      // Pair-volume poll (EvalRange's output-volume idiom): one morsel's
+      // work is morsel_rows * m pairs, not morsel_rows.
+      if ((pairs++ & 0xFFFF) == 0xFFFF) {
+        EXRQUY_RETURN_IF_ERROR(PollGovernor());
+      }
+      Result<Value> v = ops_.Compare(op.fun, lk[i], rk[j]);
+      if (!v.ok()) return v.status();
+      if (v.value().b) {
+        l_rows.push_back(static_cast<uint32_t>(i));
+        r_rows.push_back(static_cast<uint32_t>(j));
+      }
+    }
+  }
+  size_t out_n = l_rows.size();
+  auto out = std::make_shared<Table>();
+  auto gather_side = [&](const Table& side, const std::vector<uint32_t>& rows) {
+    for (ColId c : side.schema()) {
+      const Column& src = side.col(c);
+      Column col(out_n);
+      for (size_t k = 0; k < out_n; ++k) col[k] = src[rows[k]];
+      out->AddColumn(c, std::move(col));
+    }
+  };
+  gather_side(in, l_rows);
+  gather_side(right, r_rows);
+  out->SetRows(out_n);
+  return out;
+}
+
+Status Evaluator::StageStepM(const Op& op, const Table& in, size_t b, size_t e,
+                             std::vector<int64_t>* out_iters,
+                             std::vector<NodeIdx>* out_nodes) {
+  const Column& iters = in.col(col::iter());
+  const Column& items = in.col(col::item());
+  std::vector<int64_t> ci;
+  std::vector<NodeIdx> cn;
+  ci.reserve(e - b);
+  cn.reserve(e - b);
+  for (size_t r = b; r < e; ++r) {
+    if (items[r].kind != ValueKind::kNode) {
+      return TypeError(std::string("path step ") + AxisName(op.axis) +
+                       ":: applied to a non-node item");
+    }
+    EXRQUY_DCHECK(iters[r].kind == ValueKind::kInt);
+    ci.push_back(iters[r].i);
+    cn.push_back(items[r].node);
+  }
+  exrquy::EvalStep(*ctx_->store, op.axis, op.test, std::move(ci),
+                   std::move(cn), out_iters, out_nodes);
+  return Status::Ok();
 }
 
 // ---------------------------------------------------------------------------

@@ -63,6 +63,11 @@ void Profile::Record(const Op& op, OpMetrics m) {
   ops_sorted_ = false;
 }
 
+void Profile::RecordPipeline(PipelineMetrics m) {
+  pipelines_.push_back(m);
+  pipelines_sorted_ = false;
+}
+
 void Profile::SetExecution(size_t threads, bool release_intermediates) {
   threads_ = threads;
   release_intermediates_ = release_intermediates;
@@ -104,6 +109,17 @@ const std::vector<Profile::OpMetrics>& Profile::ops() const {
     ops_sorted_ = true;
   }
   return ops_;
+}
+
+const std::vector<Profile::PipelineMetrics>& Profile::pipelines() const {
+  if (!pipelines_sorted_) {
+    std::stable_sort(pipelines_.begin(), pipelines_.end(),
+                     [](const PipelineMetrics& a, const PipelineMetrics& b) {
+                       return a.id < b.id;
+                     });
+    pipelines_sorted_ = true;
+  }
+  return pipelines_;
 }
 
 std::string Profile::ToString() const {
@@ -176,10 +192,29 @@ std::string Profile::ToJson() const {
     out += ", \"queue_ms\": ";
     AppendNumber(m.queue_ms, &out);
     std::snprintf(buf, sizeof(buf),
-                  ", \"in_rows\": %zu, \"out_rows\": %zu, \"chunks\": %zu}",
-                  m.in_rows, m.out_rows, m.chunks);
+                  ", \"in_rows\": %zu, \"out_rows\": %zu, \"chunks\": %zu, "
+                  "\"pipeline\": %lld}",
+                  m.in_rows, m.out_rows, m.chunks,
+                  static_cast<long long>(m.pipeline));
     out += buf;
     out += i + 1 < records.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"pipelines\": [\n";
+  const std::vector<PipelineMetrics>& pipes = pipelines();
+  for (size_t p = 0; p < pipes.size(); ++p) {
+    const PipelineMetrics& m = pipes[p];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"id\": %u, \"head\": %u, \"sink\": %u, \"stages\": "
+                  "%zu, \"morsels\": %zu, \"ms\": ",
+                  m.id, m.head, m.sink, m.stages, m.morsels);
+    out += buf;
+    AppendNumber(m.ms, &out);
+    out += ", \"queue_ms\": ";
+    AppendNumber(m.queue_ms, &out);
+    std::snprintf(buf, sizeof(buf), ", \"in_rows\": %zu, \"out_rows\": %zu}",
+                  m.in_rows, m.out_rows);
+    out += buf;
+    out += p + 1 < pipes.size() ? ",\n" : "\n";
   }
   out += "  ],\n  \"by_kind\": {\n";
   size_t i = 0;

@@ -36,13 +36,38 @@ class Profile {
     std::string kind;        // OpKindName
     std::string prov;        // provenance label ("" when unlabeled)
     double ms = 0;           // kernel wall time
-    double queue_ms = 0;     // ready -> start (0 in serial execution)
+    // Scheduler-queue wait, ready -> start, charged once per *scheduled
+    // unit*: 0 for fused pipeline stages (the wait is on the pipeline's
+    // record) and for units run inline on the thread that readied them —
+    // so summing queue_ms over ops never double-counts a backlog.
+    double queue_ms = 0;
     size_t in_rows = 0;      // sum over inputs
     size_t out_rows = 0;
-    size_t chunks = 1;       // intra-operator chunk tasks (1 = unchunked)
+    size_t chunks = 1;       // chunk/morsel tasks (1 = unchunked)
+    // Fused pipeline this op ran in (index into pipelines()); -1 when it
+    // ran standalone. Fused stages report per-morsel-summed wall time
+    // and exact row counts, but no queue wait of their own.
+    int64_t pipeline = -1;
+  };
+
+  // One fused pipeline (morsel-driven execution, opt/morsel_plan.h).
+  struct PipelineMetrics {
+    uint32_t id = 0;         // index in plan order
+    OpId head = kNoOp;
+    OpId sink = kNoOp;
+    size_t stages = 0;
+    size_t morsels = 0;
+    // Unit wall time (morsel pulls + ordered merge). Stage wall times
+    // already land in total_ms() via their OpMetrics, so this is NOT
+    // added to total_ms() again.
+    double ms = 0;
+    double queue_ms = 0;     // ready -> start, once for the whole unit
+    size_t in_rows = 0;      // morsel-domain (head source) rows
+    size_t out_rows = 0;     // sink output rows
   };
 
   void Record(const Op& op, OpMetrics m);
+  void RecordPipeline(PipelineMetrics m);
 
   // Engine-level facts about the run.
   void SetExecution(size_t threads, bool release_intermediates);
@@ -71,6 +96,8 @@ class Profile {
 
   // Sorted by operator id (insertion order is scheduling-dependent).
   const std::vector<OpMetrics>& ops() const;
+  // Sorted by pipeline id (same reason).
+  const std::vector<PipelineMetrics>& pipelines() const;
 
   size_t threads() const { return threads_; }
   size_t peak_live_bytes() const { return peak_live_bytes_; }
@@ -100,6 +127,8 @@ class Profile {
   double total_ms_ = 0;
   mutable std::vector<OpMetrics> ops_;  // sorted lazily by ops()
   mutable bool ops_sorted_ = true;
+  mutable std::vector<PipelineMetrics> pipelines_;  // sorted lazily
+  mutable bool pipelines_sorted_ = true;
   size_t threads_ = 1;
   bool release_intermediates_ = true;
   size_t peak_live_bytes_ = 0;

@@ -39,6 +39,13 @@ class Table {
   // Explicitly sets the row count for tables built column-less first.
   void SetRows(size_t rows) { rows_ = rows; }
 
+  // Drops this table's reference to column `c`'s payload (the schema
+  // entry remains; reading the column afterwards is invalid). The
+  // engine's ordered morsel merge frees each exclusively-owned part
+  // column right after copying it, keeping the merge's transient
+  // footprint at the output plus a single column.
+  void ReleaseColumn(ColId c) { data_[ColIndex(c)].reset(); }
+
   // Materialized payload bytes of one column — the unit the memory
   // governor accounts in (Value is fixed-width; the vector header and
   // allocator slack are ignored).

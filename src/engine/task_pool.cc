@@ -5,10 +5,15 @@
 
 namespace exrquy {
 
-TaskPool::TaskPool(size_t threads) {
-  if (threads <= 1) return;
-  workers_.reserve(threads);
-  for (size_t i = 0; i < threads; ++i) {
+TaskPool::TaskPool(size_t threads) : target_(threads <= 1 ? 0 : threads) {}
+
+void TaskPool::EnsureWorkersLocked() {
+  if (spawned_) return;
+  spawned_ = true;
+  workers_.reserve(target_);
+  for (size_t i = 0; i < target_; ++i) {
+    // Workers block on mu_ until the caller releases it — safe to spawn
+    // while holding the lock.
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -23,12 +28,13 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::Submit(std::function<void()> fn) {
-  if (workers_.empty()) {
+  if (target_ == 0) {
     fn();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked();
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
@@ -85,12 +91,12 @@ struct ForState {
 
 void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
+  if (target_ == 0 || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   auto state = std::make_shared<ForState>(n, fn);
-  size_t helpers = std::min(workers_.size(), n - 1);
+  size_t helpers = std::min(target_, n - 1);
   for (size_t h = 0; h < helpers; ++h) {
     Submit([state] { state->Drain(); });
   }

@@ -18,15 +18,20 @@ namespace exrquy {
 
 class TaskPool {
  public:
-  // Spawns `threads` workers (0 behaves like 1: no workers, everything
-  // runs inline on the calling thread).
+  // A pool of `threads` workers (0 behaves like 1: no workers,
+  // everything runs inline on the calling thread). Workers spawn lazily
+  // on the first Submit/ParallelFor that needs them — a query whose
+  // every unit runs inline (tiny inputs under the evaluator's
+  // serial-execution threshold) never pays thread creation at all.
   explicit TaskPool(size_t threads);
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;
   TaskPool& operator=(const TaskPool&) = delete;
 
-  size_t threads() const { return workers_.size(); }
+  // The pool's worker capacity (0 = inline pool), independent of whether
+  // the workers have spawned yet.
+  size_t threads() const { return target_; }
 
   // Enqueues a task. Tasks must not block on other queued tasks (operator
   // tasks only block on the store lock, whose holder always completes).
@@ -41,7 +46,10 @@ class TaskPool {
 
  private:
   void WorkerLoop();
+  void EnsureWorkersLocked();  // requires mu_ held
 
+  size_t target_ = 0;    // worker capacity; 0 = run everything inline
+  bool spawned_ = false;  // guarded by mu_
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;

@@ -1,0 +1,381 @@
+// Morsel-driven pipelined execution (opt/morsel_plan.h, engine/eval.h):
+// the fused engine must be invisible in every observable except time and
+// memory. The suite drives that contract four ways:
+//
+//   * byte-equality of all twenty XMark queries against the unfused
+//     operator-at-a-time engine, across ordering modes, thread counts
+//     and morsel sizes — including morsel_rows = 1, where every stage
+//     boundary, merge order and refcount transition is exercised at
+//     maximum resolution;
+//   * the governor fault matrix (fail-alloc / cancel-at-op /
+//     deadline-at-chunk) swept exhaustively through fused pipelines with
+//     SweepFaultPoints: every single fault point surfaces as the planned
+//     code and an unfaulted re-run is byte-identical;
+//   * the memory half: fusing must strictly lower the peak live
+//     footprint on XMark Q11 below the operator-at-a-time release
+//     frontier, because interior stages never materialize;
+//   * the plan audit: a hand-corrupted MorselPlan must be refused before
+//     the engine runs a single morsel.
+//
+// Plus the scheduling satellite: a tiny query at 4 threads must not pay
+// for the pool (serial-inline threshold + lazy worker spawn).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "engine/faults.h"
+#include "opt/morsel_plan.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace exrquy {
+namespace {
+
+// The unfused engine is the reference: exact serial operator-at-a-time
+// evaluation, the semantics every prior PR's goldens pinned down.
+QueryOptions Reference() {
+  QueryOptions o;
+  o.num_threads = 1;
+  o.pipelined_execution = false;
+  return o;
+}
+
+QueryOptions Pipelined(int threads, size_t morsel_rows) {
+  QueryOptions o;
+  o.num_threads = threads;
+  o.pipelined_execution = true;
+  o.morsel_rows = morsel_rows;
+  return o;
+}
+
+class PipelineExecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    XMarkOptions options;
+    options.scale = 0.004;
+    ASSERT_TRUE(
+        session_->LoadDocument("auction.xml", GenerateXMark(options)).ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+
+  static Session* session_;
+};
+
+Session* PipelineExecTest::session_ = nullptr;
+
+// ---------------------------------------------------------------------
+// Byte-equality matrix: 20 queries x 2 ordering modes x {1, 2, 4}
+// threads x morsel sizes {1, 64, 65536} against the unfused reference.
+
+void RunMatrix(Session* session, OrderingMode mode) {
+  const size_t kMorsels[] = {1, 64, 65536};
+  const int kThreads[] = {1, 2, 4};
+  for (const XMarkQuery& q : XMarkQueries()) {
+    QueryOptions ref_opts = Reference();
+    ref_opts.default_ordering = mode;
+    Result<QueryResult> reference = session->Execute(q.text, ref_opts);
+    ASSERT_TRUE(reference.ok())
+        << q.name << ": " << reference.status().ToString();
+    for (int threads : kThreads) {
+      for (size_t morsel : kMorsels) {
+        QueryOptions o = Pipelined(threads, morsel);
+        o.default_ordering = mode;
+        Result<QueryResult> r = session->Execute(q.text, o);
+        ASSERT_TRUE(r.ok()) << q.name << " threads=" << threads
+                            << " morsel=" << morsel << ": "
+                            << r.status().ToString();
+        EXPECT_EQ(reference->serialized, r->serialized)
+            << q.name << " threads=" << threads << " morsel=" << morsel;
+        EXPECT_EQ(reference->items, r->items)
+            << q.name << " threads=" << threads << " morsel=" << morsel;
+      }
+    }
+  }
+}
+
+TEST_F(PipelineExecTest, XMarkByteIdenticalOrdered) {
+  RunMatrix(session_, OrderingMode::kOrdered);
+}
+
+TEST_F(PipelineExecTest, XMarkByteIdenticalUnordered) {
+  RunMatrix(session_, OrderingMode::kUnordered);
+}
+
+TEST_F(PipelineExecTest, PipelinesActuallyFuse) {
+  // The matrix above is vacuous if no query ever forms a pipeline; pin
+  // that the planner fuses real XMark plans and the profile records it.
+  size_t queries_with_pipelines = 0;
+  for (const XMarkQuery& q : XMarkQueries()) {
+    QueryOptions o = Pipelined(/*threads=*/1, /*morsel_rows=*/64);
+    o.profile = true;
+    Result<QueryResult> r = session_->Execute(q.text, o);
+    ASSERT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+    if (r->profile.pipelines().empty()) continue;
+    ++queries_with_pipelines;
+    for (const Profile::PipelineMetrics& pm : r->profile.pipelines()) {
+      EXPECT_GE(pm.stages, 2u) << q.name;
+      EXPECT_GE(pm.morsels, 1u) << q.name;
+    }
+    // Fused stages keep their per-op row counts, tagged with the
+    // pipeline they ran in; queue wait is charged to the pipeline as
+    // one scheduled unit, never to its stages.
+    size_t tagged = 0;
+    for (const Profile::OpMetrics& m : r->profile.ops()) {
+      if (m.pipeline < 0) continue;
+      ++tagged;
+      EXPECT_EQ(m.queue_ms, 0.0) << q.name;
+    }
+    EXPECT_GE(tagged, 2 * r->profile.pipelines().size()) << q.name;
+  }
+  EXPECT_GE(queries_with_pipelines, 10u)
+      << "most XMark plans contain at least one fusable chain";
+}
+
+// ---------------------------------------------------------------------
+// Fault matrix through fused pipelines. Governor polls sit at every
+// (morsel, stage) boundary and allocation charges at every morsel
+// materialization, so the sweep walks coordinates that only exist in
+// the fused engine. morsel_rows pinned tiny and identical everywhere:
+// the counters are a pure function of table sizes, so every point is
+// reproducible.
+
+QueryOptions SweepOptions() {
+  QueryOptions o = Pipelined(/*threads=*/1, /*morsel_rows=*/7);
+  o.chunk_rows = 7;
+  return o;
+}
+
+void SweepQuery(Session* session, const std::string& name, FaultKind kind) {
+  const std::string query = XMarkQueryText(name);
+  Result<QueryResult> reference = session->Execute(query, SweepOptions());
+  ASSERT_TRUE(reference.ok()) << name << ": "
+                              << reference.status().ToString();
+
+  auto attempt = [&](const FaultPlan& plan) -> Status {
+    QueryOptions o = SweepOptions();
+    o.faults = plan;
+    Result<QueryResult> r = session->Execute(query, o);
+    return r.ok() ? Status::Ok() : r.status();
+  };
+  auto check = [&](uint64_t point, const Status& st) {
+    std::string context = name + " point " + std::to_string(point);
+    EXPECT_EQ(st.code(), FaultKindCode(kind))
+        << context << ": " << st.ToString();
+    Result<QueryResult> again = session->Execute(query, SweepOptions());
+    ASSERT_TRUE(again.ok()) << context << ": " << again.status().ToString();
+    EXPECT_EQ(again->serialized, reference->serialized) << context;
+    EXPECT_EQ(again->items, reference->items) << context;
+  };
+
+  Result<uint64_t> points =
+      SweepFaultPoints(kind, /*max_points=*/1000000, attempt, check);
+  ASSERT_TRUE(points.ok()) << name << ": " << points.status().ToString();
+  EXPECT_GT(*points, 0u) << name;
+}
+
+TEST_F(PipelineExecTest, FaultSweepThroughFusedPipelines) {
+  // Q1 (path + filter pipelines) and Q8 (join build/probe pipelines)
+  // under all three fault kinds.
+  for (const char* name : {"Q1", "Q8"}) {
+    SweepQuery(session_, name, FaultKind::kFailAlloc);
+    SweepQuery(session_, name, FaultKind::kCancelAtOp);
+    SweepQuery(session_, name, FaultKind::kDeadlineAtChunk);
+  }
+}
+
+TEST_F(PipelineExecTest, FaultCountsIndependentOfThreads) {
+  // The fault coordinates are engine counters; arming the same point at
+  // 1 and 4 threads must surface the same planned failure, and the
+  // deterministic serial resolution must make the reported error
+  // identical (PR 3 fault matrix, now over morsel boundaries).
+  const std::string query = XMarkQueryText("Q8");
+  for (uint64_t point : {uint64_t{1}, uint64_t{5}, uint64_t{23}}) {
+    QueryOptions serial = SweepOptions();
+    serial.faults.cancel_at_op = point;
+    QueryOptions parallel = SweepOptions();
+    parallel.num_threads = 4;
+    parallel.faults.cancel_at_op = point;
+    Result<QueryResult> s = session_->Execute(query, serial);
+    Result<QueryResult> p = session_->Execute(query, parallel);
+    ASSERT_EQ(s.ok(), p.ok()) << "point " << point;
+    if (!s.ok()) {
+      EXPECT_EQ(s.status().ToString(), p.status().ToString())
+          << "point " << point;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Memory: interior stages never materialize, so the fused engine's peak
+// must sit strictly below the operator-at-a-time release frontier of
+// PR 2 on the join-heavy profile query.
+
+TEST_F(PipelineExecTest, Q11PeakMemoryStrictlyLowerWhenFused) {
+  const std::string& q11 = XMarkQueryText("Q11");
+  QueryOptions unfused = Reference();
+  unfused.profile = true;
+  QueryOptions fused = Pipelined(/*threads=*/1, /*morsel_rows=*/64);
+  fused.profile = true;
+
+  Result<QueryResult> off = session_->Execute(q11, unfused);
+  Result<QueryResult> on = session_->Execute(q11, fused);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+  EXPECT_EQ(off->serialized, on->serialized);
+  EXPECT_FALSE(on->profile.pipelines().empty());
+  EXPECT_LT(on->profile.peak_live_bytes(), off->profile.peak_live_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Scheduling: tiny pipelines run inline on the readying thread, and the
+// pool never spawns a worker it does not need, so a tiny query at 4
+// threads costs what it costs at 1.
+
+TEST_F(PipelineExecTest, TinyQueryFourThreadLatencyNearSerial) {
+  Session session;
+  ASSERT_TRUE(session
+                  .LoadDocument("tiny.xml",
+                                "<top><a>1</a><a>2</a><a>3</a></top>")
+                  .ok());
+  const std::string query =
+      R"(for $x in doc("tiny.xml")//a return number($x) * 2)";
+
+  auto median_ms = [&](const QueryOptions& o) {
+    std::vector<double> samples;
+    for (int i = 0; i < 60; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      Result<QueryResult> r = session.Execute(query, o);
+      auto t1 = std::chrono::steady_clock::now();
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+
+  QueryOptions serial = Pipelined(/*threads=*/1, /*morsel_rows=*/0);
+  QueryOptions four = Pipelined(/*threads=*/4, /*morsel_rows=*/0);
+  // Warm both paths (first-run effects: interning, plan shaping).
+  (void)session.Execute(query, serial);
+  (void)session.Execute(query, four);
+  double serial_ms = median_ms(serial);
+  double four_ms = median_ms(four);
+  EXPECT_LE(four_ms, serial_ms * 1.2)
+      << "tiny query must not pay for the pool: serial " << serial_ms
+      << " ms vs 4T " << four_ms << " ms";
+}
+
+TEST_F(PipelineExecTest, InlineThresholdNeverObservable) {
+  // inline_rows changes scheduling only; force both extremes.
+  const std::string& q8 = XMarkQueryText("Q8");
+  Result<QueryResult> reference = session_->Execute(q8, Reference());
+  ASSERT_TRUE(reference.ok());
+  for (size_t inline_rows : {size_t{0}, size_t{1u << 30}}) {
+    QueryOptions o = Pipelined(/*threads=*/4, /*morsel_rows=*/64);
+    o.inline_rows = inline_rows;
+    Result<QueryResult> r = session_->Execute(q8, o);
+    ASSERT_TRUE(r.ok()) << "inline_rows=" << inline_rows;
+    EXPECT_EQ(reference->serialized, r->serialized)
+        << "inline_rows=" << inline_rows;
+  }
+}
+
+// ---------------------------------------------------------------------
+// The audit: the evaluator must refuse a morsel plan it cannot
+// independently re-derive, in the plan verifier's diagnostic format.
+
+class AuditTest : public ::testing::Test {
+ protected:
+  // Plans an XMark-style query and returns its pipelines; the corpus
+  // query is chosen to guarantee at least one fused chain.
+  void Plan() {
+    ASSERT_TRUE(session_.LoadDocument("f.xml",
+                                      "<top><g k=\"1\"><n>1</n><n>2</n></g>"
+                                      "<g k=\"2\"><n>3</n></g></top>")
+                    .ok());
+    Result<QueryPlans> plans = session_.Plan(
+        R"(for $x in doc("f.xml")//g where count($x/n) > 0 return $x/@k)",
+        QueryOptions());
+    ASSERT_TRUE(plans.ok()) << plans.status().ToString();
+    plans_ = std::move(*plans);
+    order_ = plans_.dag->ReachableFrom(plans_.optimized);
+    plan_ = PlanPipelines(*plans_.dag, order_, plans_.optimized);
+    ASSERT_FALSE(plan_.pipelines.empty())
+        << "corpus query must form at least one pipeline";
+  }
+
+  Status Audit(const MorselPlan& plan) {
+    return AuditMorselPlan(*plans_.dag, order_, plans_.optimized, plan);
+  }
+
+  Session session_;
+  QueryPlans plans_;
+  std::vector<OpId> order_;
+  MorselPlan plan_;
+};
+
+TEST_F(AuditTest, CleanPlanPasses) {
+  Plan();
+  EXPECT_TRUE(Audit(plan_).ok());
+}
+
+TEST_F(AuditTest, RejectsSingleStagePipeline) {
+  Plan();
+  MorselPlan corrupt = plan_;
+  Pipeline& p = corrupt.pipelines[0];
+  while (p.stages.size() > 1) {
+    corrupt.pipeline_of.erase(p.stages.back().op);
+    p.stages.pop_back();
+  }
+  Status st = Audit(corrupt);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("morsel plan:"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(AuditTest, RejectsReversedStageOrder) {
+  Plan();
+  MorselPlan corrupt = plan_;
+  std::reverse(corrupt.pipelines[0].stages.begin(),
+               corrupt.pipelines[0].stages.end());
+  EXPECT_FALSE(Audit(corrupt).ok());
+}
+
+TEST_F(AuditTest, RejectsStageMappedToWrongPipeline) {
+  Plan();
+  MorselPlan corrupt = plan_;
+  corrupt.pipeline_of[corrupt.pipelines[0].stages[0].op] =
+      static_cast<uint32_t>(corrupt.pipelines.size());  // dangling index
+  EXPECT_FALSE(Audit(corrupt).ok());
+}
+
+TEST_F(AuditTest, RejectsForeignStage) {
+  Plan();
+  MorselPlan corrupt = plan_;
+  // Claim some op outside the pipeline as an extra interior stage.
+  OpId foreign = kNoOp;
+  for (OpId id : order_) {
+    if (!corrupt.fused(id)) {
+      foreign = id;
+      break;
+    }
+  }
+  ASSERT_NE(foreign, kNoOp);
+  Pipeline& p = corrupt.pipelines[0];
+  p.stages.insert(p.stages.begin() + 1, PipelineStage{foreign, 0});
+  corrupt.pipeline_of[foreign] = 0;
+  EXPECT_FALSE(Audit(corrupt).ok());
+}
+
+}  // namespace
+}  // namespace exrquy
